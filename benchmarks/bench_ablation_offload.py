@@ -1,0 +1,85 @@
+"""Benchmark Ext-E (§5.2): NIC offloads and what they buy.
+
+Both of the paper's machines enable checksum offload; the proposal
+leans on it (the NIC-verified checksum becomes the storage checksum).
+This ablation turns the offloads off and measures what the software
+checksum path costs — and confirms hardware timestamps ride along for
+free.
+"""
+
+import pytest
+
+from repro.bench.testbed import make_testbed
+from repro.bench.wrk import WrkClient
+from repro.net.nic import NicFeatures
+
+_CACHE = {}
+
+
+def measure(offload):
+    if offload not in _CACHE:
+        features = NicFeatures(
+            tx_csum_offload=offload, rx_csum_offload=offload,
+            hw_timestamps=offload,
+        )
+        testbed = make_testbed(
+            engine="null",
+            server_features=features,
+            client_features=NicFeatures(
+                tx_csum_offload=offload, rx_csum_offload=offload,
+                hw_timestamps=offload,
+            ),
+        )
+        wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
+                        duration_ns=2_000_000, warmup_ns=400_000)
+        stats = wrk.run()
+        _CACHE[offload] = (stats.avg_rtt_us, testbed)
+    return _CACHE[offload]
+
+
+@pytest.mark.parametrize("offload", [True, False])
+def test_networking_rtt_with_offload(benchmark, offload):
+    rtt, testbed = benchmark.pedantic(measure, args=(offload,), rounds=1, iterations=1)
+    benchmark.extra_info["offload"] = offload
+    benchmark.extra_info["networking_rtt_us"] = round(rtt, 2)
+    csum_cpu = testbed.server.accounting.category("net.csum")
+    benchmark.extra_info["server_sw_csum_total_ns"] = round(csum_cpu)
+    if offload:
+        assert csum_cpu == 0.0
+    else:
+        assert csum_cpu > 0.0
+
+
+def test_offload_saves_checksum_cpu(benchmark):
+    def collect():
+        return measure(True)[0], measure(False)[0]
+
+    with_offload, without = benchmark.pedantic(collect, rounds=1, iterations=1)
+    saved = without - with_offload
+    benchmark.extra_info["rtt_with_offload_us"] = round(with_offload, 2)
+    benchmark.extra_info["rtt_without_us"] = round(without, 2)
+    benchmark.extra_info["saved_us"] = round(saved, 2)
+    # Two software checksums per direction per request (~1KB each way
+    # on the request side): several microseconds end to end.
+    assert saved > 2.0
+
+
+def test_hw_timestamps_present_only_with_offload(benchmark):
+    def collect():
+        results = {}
+        for offload in (True, False):
+            features = NicFeatures(hw_timestamps=offload)
+            testbed = make_testbed(engine="pktstore" if offload else "null",
+                                   server_features=features)
+            wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
+                            duration_ns=400_000, warmup_ns=100_000)
+            wrk.run()
+            results[offload] = testbed
+        return results
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    store = results[True].engine.store
+    # Every stored record carries a NIC timestamp.
+    stamped = [record.hw_tstamp for record in store.versions()]
+    assert stamped and all(ts > 0 for ts in stamped)
+    benchmark.extra_info["records_with_hw_tstamp"] = len(stamped)

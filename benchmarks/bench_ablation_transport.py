@@ -1,0 +1,69 @@
+"""Benchmark Ext-D (§5.2): lower-latency transports raise the stakes.
+
+The paper predicts that as networking latency falls (better fabrics,
+Homa-like transports), the data-management share of the RTT grows —
+strengthening the case for reclaiming it.  We sweep fabric latency
+from a campus network down to a Homa-like datacenter profile and
+measure the networking RTT and the datamgmt share.
+"""
+
+import pytest
+
+from repro.bench.testbed import make_testbed
+from repro.bench.wrk import WrkClient
+
+PROFILES = {
+    # name: (propagation_ns, switch_ns)
+    "campus": (5000.0, 2000.0),
+    "paper-25gbe": (200.0, 300.0),
+    "homa-like": (50.0, 80.0),
+}
+
+_CACHE = {}
+
+
+def measure(profile, engine):
+    key = (profile, engine)
+    if key not in _CACHE:
+        propagation, switch = PROFILES[profile]
+        testbed = make_testbed(
+            engine=engine,
+            fabric_kwargs={"propagation_ns": propagation, "switch_ns": switch},
+        )
+        wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
+                        duration_ns=2_000_000, warmup_ns=400_000)
+        _CACHE[key] = wrk.run().avg_rtt_us
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("profile", list(PROFILES))
+def test_networking_rtt_per_fabric(benchmark, profile):
+    rtt = benchmark.pedantic(measure, args=(profile, "null"), rounds=1, iterations=1)
+    benchmark.extra_info["networking_rtt_us"] = round(rtt, 2)
+
+
+def test_datamgmt_share_grows_as_networks_shrink(benchmark):
+    def collect():
+        rows = []
+        for profile in ("campus", "paper-25gbe", "homa-like"):
+            null_rtt = measure(profile, "null")
+            full_rtt = measure(profile, "novelsm")
+            overhead = full_rtt - null_rtt
+            share = overhead / full_rtt * 100
+            rows.append((profile, null_rtt, overhead, share))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print()
+    shares = []
+    for profile, null_rtt, overhead, share in rows:
+        print(f"  {profile:14s} net {null_rtt:6.2f}µs  storage {overhead:5.2f}µs  share {share:4.1f}%")
+        benchmark.extra_info[f"storage_share_pct_{profile}"] = round(share, 1)
+        shares.append(share)
+    # Networking RTT falls monotonically across the profiles...
+    assert rows[0][1] > rows[1][1] > rows[2][1]
+    # ...while the storage-stack share of end-to-end latency grows.
+    assert shares == sorted(shares)
+    # The storage overhead itself is fabric-independent (same server work).
+    overheads = [row[2] for row in rows]
+    assert max(overheads) - min(overheads) < 1.0

@@ -1,0 +1,65 @@
+"""Benchmark: the disk-era baseline — why PM changes the storage stack.
+
+§2.1's framing quantified: LevelDB with its WAL on an SSD pays device
+latency on every put; NoveLSM's PM memtable replaces the log with
+cache-line flushes; the packet-native store then attacks what remains.
+This is the motivation ladder for the whole paper in one table.
+"""
+
+import pytest
+
+from repro.bench.testbed import make_testbed
+from repro.bench.wrk import WrkClient
+from repro.sim.units import ns_to_us
+
+ENGINES = ("leveldb-ssd", "novelsm", "pktstore")
+
+_CACHE = {}
+
+
+def measure(engine):
+    if engine not in _CACHE:
+        testbed = make_testbed(engine=engine)
+        wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
+                        duration_ns=2_500_000, warmup_ns=500_000)
+        stats = wrk.run()
+        puts = max(1, testbed.kv.stats["puts"])
+        acct = testbed.server.accounting
+        persistence = ns_to_us(
+            (acct.category("persist")
+             + acct.category("wal.sync") + acct.category("wal.write")) / puts
+        )
+        _CACHE[engine] = (stats.avg_rtt_us, stats.throughput_krps, persistence)
+    return _CACHE[engine]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_write_rtt(benchmark, engine):
+    rtt, tput, persistence = benchmark.pedantic(
+        measure, args=(engine,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["avg_rtt_us"] = round(rtt, 2)
+    benchmark.extra_info["throughput_krps"] = round(tput, 1)
+    benchmark.extra_info["persistence_us_per_put"] = round(persistence, 2)
+
+
+def test_motivation_ladder(benchmark):
+    def collect():
+        return {engine: measure(engine) for engine in ENGINES}
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print()
+    for engine, (rtt, tput, persistence) in rows.items():
+        print(f"  {engine:12s} RTT {rtt:6.2f}µs  tput {tput:5.1f}krps  "
+              f"persistence {persistence:5.2f}µs/put")
+
+    ssd_rtt, _, ssd_persist = rows["leveldb-ssd"]
+    pm_rtt, _, pm_persist = rows["novelsm"]
+    pkt_rtt, _, _ = rows["pktstore"]
+    # The SSD log dominates the disk-era design (tens of µs per put)...
+    assert ssd_persist > 10 * pm_persist
+    assert ssd_rtt > 1.8 * pm_rtt
+    # ...PM removes it, leaving data management as the problem...
+    assert pm_persist < 3.0
+    # ...which the packet-native store then removes.
+    assert pkt_rtt < pm_rtt

@@ -1,0 +1,65 @@
+"""Benchmark: Figure 2 — latency & throughput over parallel connections.
+
+One benchmark per (series, connection-count) cell of the paper's
+Figure 2 sweep {1, 25, 50, 75, 100} × {net.+persist., net.+data
+mgmt.+persist.}, plus the penalty-band assertions the paper reports
+(throughput −9..28 %, latency +11..41 %, growing with concurrency).
+"""
+
+import pytest
+
+from repro.bench.figure2 import CONNECTIONS
+
+ENGINES = ("rawpm", "novelsm")
+
+
+@pytest.mark.parametrize("connections", CONNECTIONS)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_figure2_point(benchmark, sim_point, engine, connections):
+    point = benchmark.pedantic(
+        sim_point, args=(engine, connections), rounds=1, iterations=1
+    )
+    benchmark.extra_info["avg_rtt_us"] = round(point.avg_rtt_us, 2)
+    benchmark.extra_info["p99_rtt_us"] = round(point.p99_rtt_us, 2)
+    benchmark.extra_info["throughput_krps"] = round(point.throughput_krps, 2)
+    benchmark.extra_info["samples"] = point.samples
+    assert point.samples > 20
+
+
+def test_figure2_penalty_bands(benchmark, sim_point):
+    """The paper's headline: the datamgmt penalty and its growth."""
+
+    def collect():
+        rows = []
+        for connections in CONNECTIONS:
+            raw = sim_point("rawpm", connections)
+            nov = sim_point("novelsm", connections)
+            latency = (nov.avg_rtt_us / raw.avg_rtt_us - 1) * 100
+            throughput = (1 - nov.throughput_krps / raw.throughput_krps) * 100
+            rows.append((connections, latency, throughput))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print()
+    for connections, latency, throughput in rows:
+        print(f"  n={connections:<4d} latency +{latency:5.1f}%  throughput -{throughput:5.1f}%")
+        benchmark.extra_info[f"latency_penalty_n{connections}"] = round(latency, 1)
+        benchmark.extra_info[f"tput_penalty_n{connections}"] = round(throughput, 1)
+        # Paper bands with fitting slack.
+        assert 10.0 <= latency <= 52.0
+        assert 8.0 <= throughput <= 36.0
+    # The penalty grows with concurrency (queueing amplification).
+    assert rows[-1][1] > rows[0][1]
+    assert rows[-1][2] > rows[0][2]
+
+
+def test_figure2_throughput_saturates(benchmark, sim_point):
+    """A single core saturates: throughput flattens past ~25 connections."""
+
+    def collect():
+        return [sim_point("rawpm", n).throughput_krps for n in (25, 100)]
+
+    at_25, at_100 = benchmark.pedantic(collect, rounds=1, iterations=1)
+    benchmark.extra_info["tput_at_25"] = round(at_25, 1)
+    benchmark.extra_info["tput_at_100"] = round(at_100, 1)
+    assert at_100 == pytest.approx(at_25, rel=0.15)

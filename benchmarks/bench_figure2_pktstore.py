@@ -1,0 +1,55 @@
+"""Benchmark Ext-B: Figure 2 with the proposed store as a third series.
+
+What Figure 2 would look like had the paper built its proposal: the
+packet-native store tracks the rawpm baseline far more closely than
+NoveLSM, because most of the data-management gap is gone.
+"""
+
+import pytest
+
+SWEEP = (1, 50, 100)
+
+
+@pytest.mark.parametrize("connections", SWEEP)
+def test_pktstore_series_point(benchmark, sim_point, connections):
+    point = benchmark.pedantic(
+        sim_point, args=("pktstore", connections), rounds=1, iterations=1
+    )
+    benchmark.extra_info["avg_rtt_us"] = round(point.avg_rtt_us, 2)
+    benchmark.extra_info["throughput_krps"] = round(point.throughput_krps, 2)
+
+
+def test_pktstore_between_baseline_and_novelsm(benchmark, sim_point):
+    def collect():
+        rows = []
+        for connections in SWEEP:
+            raw = sim_point("rawpm", connections)
+            pkt = sim_point("pktstore", connections)
+            nov = sim_point("novelsm", connections)
+            rows.append((connections, raw, pkt, nov))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print()
+    for connections, raw, pkt, nov in rows:
+        print(
+            f"  n={connections:<4d} rtt: raw {raw.avg_rtt_us:7.1f}  "
+            f"pkt {pkt.avg_rtt_us:7.1f}  nov {nov.avg_rtt_us:7.1f}  |  "
+            f"tput: raw {raw.throughput_krps:5.1f}  pkt {pkt.throughput_krps:5.1f}  "
+            f"nov {nov.throughput_krps:5.1f}"
+        )
+        benchmark.extra_info[f"rtt_pkt_n{connections}"] = round(pkt.avg_rtt_us, 1)
+        # The proposal beats NoveLSM everywhere...
+        assert pkt.avg_rtt_us < nov.avg_rtt_us
+        assert pkt.throughput_krps > nov.throughput_krps
+        # ...while still paying index+persistence over the raw baseline.
+        assert pkt.avg_rtt_us >= raw.avg_rtt_us * 0.98
+
+    # And it recovers most of the penalty: at full concurrency the
+    # pktstore throughput penalty vs raw is under half of NoveLSM's.
+    _n, raw, pkt, nov = rows[-1]
+    pkt_penalty = 1 - pkt.throughput_krps / raw.throughput_krps
+    nov_penalty = 1 - nov.throughput_krps / raw.throughput_krps
+    benchmark.extra_info["pkt_penalty_pct"] = round(pkt_penalty * 100, 1)
+    benchmark.extra_info["nov_penalty_pct"] = round(nov_penalty * 100, 1)
+    assert pkt_penalty < nov_penalty / 2

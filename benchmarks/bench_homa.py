@@ -1,0 +1,76 @@
+"""Benchmark Ext-D′ (§5.2): the KV workload over the Homa-like transport.
+
+Where `bench_ablation_transport.py` sweeps fabric latency, this bench
+actually swaps the transport protocol: same engines, same workload,
+messages instead of a byte stream.  The paper's prediction: a leaner
+transport shrinks the networking share, making the storage stack's
+data management relatively *more* expensive — and the packet-native
+store's savings relatively more valuable.
+"""
+
+import pytest
+
+from repro.bench.testbed import make_testbed
+from repro.bench.wrk import HomaWrkClient, WrkClient
+
+_CACHE = {}
+
+
+def measure(transport, engine):
+    key = (transport, engine)
+    if key not in _CACHE:
+        testbed = make_testbed(engine=engine, transport=transport)
+        client_cls = HomaWrkClient if transport == "homa" else WrkClient
+        wrk = client_cls(testbed.client, "10.0.0.1", connections=1,
+                         duration_ns=2_000_000, warmup_ns=400_000)
+        stats = wrk.run()
+        _CACHE[key] = stats.avg_rtt_us
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("engine", ["null", "novelsm", "pktstore"])
+@pytest.mark.parametrize("transport", ["tcp", "homa"])
+def test_rtt_by_transport(benchmark, transport, engine):
+    rtt = benchmark.pedantic(measure, args=(transport, engine), rounds=1, iterations=1)
+    benchmark.extra_info["avg_rtt_us"] = round(rtt, 2)
+
+
+def test_homa_shrinks_networking_not_storage(benchmark):
+    def collect():
+        rows = {}
+        for transport in ("tcp", "homa"):
+            net = measure(transport, "null")
+            full = measure(transport, "novelsm")
+            rows[transport] = (net, full - net, (full - net) / full * 100)
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print()
+    for transport, (net, storage, share) in rows.items():
+        print(f"  {transport:5s} networking {net:6.2f}µs  storage {storage:5.2f}µs  "
+              f"share {share:4.1f}%")
+        benchmark.extra_info[f"{transport}_net_us"] = round(net, 2)
+        benchmark.extra_info[f"{transport}_storage_share_pct"] = round(share, 1)
+    # Homa cuts the networking RTT...
+    assert rows["homa"][0] < rows["tcp"][0] - 2.0
+    # ...leaves the storage-stack cost essentially unchanged...
+    assert rows["homa"][1] == pytest.approx(rows["tcp"][1], rel=0.15)
+    # ...so the storage share of end-to-end latency grows (§5.2).
+    assert rows["homa"][2] > rows["tcp"][2]
+
+
+def test_proposal_gain_larger_over_homa(benchmark):
+    """Relative benefit of the packet-native store rises on fast transports."""
+
+    def collect():
+        gains = {}
+        for transport in ("tcp", "homa"):
+            nov = measure(transport, "novelsm")
+            pkt = measure(transport, "pktstore")
+            gains[transport] = (nov - pkt) / nov * 100
+        return gains
+
+    gains = benchmark.pedantic(collect, rounds=1, iterations=1)
+    benchmark.extra_info["tcp_gain_pct"] = round(gains["tcp"], 1)
+    benchmark.extra_info["homa_gain_pct"] = round(gains["homa"], 1)
+    assert gains["homa"] > gains["tcp"]

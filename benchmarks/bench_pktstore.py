@@ -1,0 +1,78 @@
+"""Benchmark Ext-A: the §4.2 projection — packet-native store vs NoveLSM.
+
+The paper argues (Table 1 + §4.2) that reusing networking features
+reclaims the checksum (1.77 µs), copy (1.14 µs) and most of the
+preparation/allocation cost.  This bench runs the Table 1 workload
+against both stores and reports the reclaimed time per row.
+"""
+
+import pytest
+
+from repro.bench.testbed import make_testbed
+from repro.bench.wrk import WrkClient
+from repro.sim.units import ns_to_us
+
+_CACHE = {}
+
+
+def run_engine(engine):
+    if engine not in _CACHE:
+        testbed = make_testbed(engine=engine)
+        wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
+                        duration_ns=2_500_000, warmup_ns=500_000)
+        stats = wrk.run()
+        puts = max(1, testbed.kv.stats["puts"])
+        acct = testbed.server.accounting
+        _CACHE[engine] = {
+            "rtt_us": stats.avg_rtt_us,
+            "tput_krps": stats.throughput_krps,
+            "prep": ns_to_us(acct.category("datamgmt.prep") / puts),
+            "checksum": ns_to_us(acct.category("datamgmt.checksum") / puts),
+            "copy": ns_to_us(acct.category("datamgmt.copy") / puts),
+            "insert": ns_to_us(acct.category("datamgmt.insert") / puts),
+            "persist": ns_to_us(acct.category("persist") / puts),
+        }
+    return _CACHE[engine]
+
+
+@pytest.mark.parametrize("engine", ["novelsm", "pktstore"])
+def test_store_rtt(benchmark, engine):
+    result = benchmark.pedantic(run_engine, args=(engine,), rounds=1, iterations=1)
+    for key, value in result.items():
+        benchmark.extra_info[key] = round(value, 3)
+
+
+def test_projection_row_by_row(benchmark):
+    def collect():
+        return run_engine("novelsm"), run_engine("pktstore")
+
+    novelsm, pktstore = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print()
+    for row in ("prep", "checksum", "copy", "insert", "persist"):
+        saved = novelsm[row] - pktstore[row]
+        print(f"  {row:10s} novelsm {novelsm[row]:5.2f}µs  pktstore {pktstore[row]:5.2f}µs  saved {saved:+5.2f}µs")
+        benchmark.extra_info[f"saved_{row}_us"] = round(saved, 3)
+
+    # §4.2's named savings, by construction:
+    assert pktstore["checksum"] == 0.0          # TCP checksum reused
+    assert pktstore["copy"] == 0.0              # value stays in PM buffers
+    assert pktstore["prep"] < novelsm["prep"] / 2
+    assert pktstore["insert"] < novelsm["insert"]  # slab pop vs PM malloc
+    # Persistence remains (flushing the 1 KB value is physics, not data
+    # management) and dominates both stores' flush cost equally; the
+    # proposal reclaims data management, not the flush.
+    assert 0 < pktstore["persist"] <= novelsm["persist"] * 1.1
+
+    total_saved = novelsm["rtt_us"] - pktstore["rtt_us"]
+    benchmark.extra_info["total_saved_us"] = round(total_saved, 2)
+    assert total_saved >= 1.77 + 1.14  # at least checksum + copy
+
+
+def test_projection_throughput_gain(benchmark):
+    def collect():
+        return run_engine("novelsm")["tput_krps"], run_engine("pktstore")["tput_krps"]
+
+    novelsm, pktstore = benchmark.pedantic(collect, rounds=1, iterations=1)
+    gain = (pktstore / novelsm - 1) * 100
+    benchmark.extra_info["throughput_gain_pct"] = round(gain, 1)
+    assert gain > 5.0

@@ -1,0 +1,83 @@
+"""Benchmark: the read path — serving values back out of the store.
+
+§4.2's send-side claim: "If NoveLSM organized its data into the packet
+data structures, it could reduce the costs of sending data to the
+network".  GET workload over three servers: NoveLSM (store read + copy
+into the response), packet store (classic response build), and packet
+store with zero-copy GET (value leaves PM as TCP frag pages).
+"""
+
+import pytest
+
+from repro.bench.costmodel import CostModel
+from repro.bench.testbed import make_testbed, preload
+from repro.bench.wrk import WrkClient
+from repro.core.pktstore import PacketStoreEngine
+from repro.net.fabric import Fabric
+from repro.net.stack import Host
+from repro.pm.device import PMDevice
+from repro.pm.namespace import PMNamespace
+from repro.sim.engine import Simulator
+from repro.storage.kvserver import KVServer
+
+ENTRIES = 200
+VALUE = 1024
+
+_CACHE = {}
+
+
+def _pktstore_testbed(zero_copy):
+    sim = Simulator()
+    fabric = Fabric(sim)
+    pm = PMDevice(192 << 20)
+    ns = PMNamespace(pm)
+    server = Host(sim, "server", "10.0.0.1", fabric, CostModel.paste(),
+                  rx_pool_region=ns.create("paste-pktbufs", 16 << 20))
+    client = Host(sim, "client", "10.0.0.2", fabric, CostModel.kernel(), cores=12)
+    engine = PacketStoreEngine.build(server, ns)
+    KVServer(server, engine, port=80, zero_copy_get=zero_copy)
+    # Populate through the pool (values must live in packet buffers).
+    for i in range(ENTRIES):
+        buf = server.rx_pool.alloc()
+        buf.write(0, bytes(VALUE))
+        engine.store.put(f"key-0-{i}".encode(), [(buf, 0, VALUE)], VALUE, 0, 0)
+    return sim, client
+
+
+def measure(config):
+    if config in _CACHE:
+        return _CACHE[config]
+    if config == "novelsm":
+        testbed = make_testbed(engine="novelsm")
+        preload(testbed, ENTRIES, VALUE, key_prefix="key-0")
+        sim, client = testbed.sim, testbed.client
+    else:
+        sim, client = _pktstore_testbed(zero_copy=(config == "pktstore-zc"))
+    wrk = WrkClient(client, "10.0.0.1", connections=1, method="GET",
+                    key_space=ENTRIES, duration_ns=2_000_000, warmup_ns=400_000)
+    stats = wrk.run()
+    assert stats.errors == 0
+    _CACHE[config] = stats.avg_rtt_us
+    return _CACHE[config]
+
+
+@pytest.mark.parametrize("config", ["novelsm", "pktstore", "pktstore-zc"])
+def test_get_rtt(benchmark, config):
+    rtt = benchmark.pedantic(measure, args=(config,), rounds=1, iterations=1)
+    benchmark.extra_info["avg_get_rtt_us"] = round(rtt, 2)
+
+
+def test_zero_copy_send_is_cheapest(benchmark):
+    def collect():
+        return {c: measure(c) for c in ("novelsm", "pktstore", "pktstore-zc")}
+
+    rtts = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print()
+    for config, rtt in rtts.items():
+        print(f"  GET via {config:12s} {rtt:6.2f}µs")
+        benchmark.extra_info[config.replace("-", "_")] = round(rtt, 2)
+    # Zero-copy send beats the copying response path on the same store.
+    assert rtts["pktstore-zc"] < rtts["pktstore"]
+    # And the packet store's read path beats NoveLSM's (no read verify,
+    # cheaper index) even before zero-copy.
+    assert rtts["pktstore-zc"] < rtts["novelsm"]

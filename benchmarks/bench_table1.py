@@ -1,0 +1,43 @@
+"""Benchmark: Table 1 — latency breakdown of a 1 KB write RTT.
+
+Regenerates every row of the paper's Table 1 and asserts the match.
+Simulated microsecond values appear in ``extra_info``.
+"""
+
+import pytest
+
+from repro.bench.table1 import PAPER, render, run_table1
+
+_RESULT = {}
+
+
+def _result():
+    if "r" not in _RESULT:
+        _RESULT["r"] = run_table1(duration_ns=2_500_000, warmup_ns=500_000)
+    return _RESULT["r"]
+
+
+def test_table1_breakdown(benchmark):
+    result = benchmark.pedantic(_result, rounds=1, iterations=1)
+    for label, key, measured in result.rows():
+        benchmark.extra_info[f"{key}_us"] = round(measured, 3)
+        benchmark.extra_info[f"{key}_paper_us"] = PAPER[key]
+    print()
+    print(render(result))
+    # Headline assertions (per-row tolerances live in the test suite).
+    assert result.networking == pytest.approx(PAPER["networking"], rel=0.10)
+    assert result.total == pytest.approx(PAPER["total"], rel=0.10)
+    assert result.datamgmt == pytest.approx(PAPER["datamgmt"], rel=0.25)
+
+
+@pytest.mark.parametrize("row", ["prep", "checksum", "copy", "alloc_insert"])
+def test_table1_datamgmt_rows(benchmark, row):
+    result = _result()
+
+    def measure():
+        return getattr(result, row)
+
+    value = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["measured_us"] = round(value, 3)
+    benchmark.extra_info["paper_us"] = PAPER[row]
+    assert value == pytest.approx(PAPER[row], rel=0.40)

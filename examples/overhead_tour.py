@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""A narrated tour of the three overheads (§3) and what networking can reclaim.
+
+Walks one 1 KB PUT through every server configuration the paper
+discusses, printing the per-category CPU accounting after each — the
+interactive version of Table 1 and Figure 3's metadata story.
+
+Run:  python examples/overhead_tour.py
+"""
+
+from repro.bench.testbed import make_testbed
+from repro.bench.wrk import WrkClient
+from repro.sim.units import ns_to_us
+
+CATEGORIES = [
+    ("net.driver", "NIC driver rx/tx"),
+    ("net.ip", "Ethernet + IPv4"),
+    ("net.tcp", "TCP"),
+    ("net.sock", "socket layer"),
+    ("net.http", "HTTP parse/build"),
+    ("net.copy", "socket copies"),
+    ("net.alloc", "skb allocation"),
+    ("app", "application logic"),
+    ("datamgmt.prep", "request preparation"),
+    ("datamgmt.checksum", "value checksum (CRC32C)"),
+    ("datamgmt.copy", "copy into store buffer"),
+    ("datamgmt.insert", "allocation + index insert"),
+    ("persist", "cache flushes to PM"),
+]
+
+STORIES = {
+    "null": "Networking only: the server parses and discards.  This is the\n"
+            "26.71 µs floor every storage stack builds on.",
+    "rawpm": "Copy + persist: the value is copied into PM and flushed.  Still\n"
+             "no integrity, no index, no recovery — not a store.",
+    "novelsm": "Full NoveLSM: checksum, copy, PM allocation, persistent skip\n"
+               "list insert, flushes.  Data management (6.39 µs in the paper)\n"
+               "now rivals everything else the server does per request.",
+    "pktstore": "The proposal: the packet IS the stored object.  The TCP\n"
+                "checksum (NIC-verified) is the integrity checksum, the NIC\n"
+                "timestamp is the timestamp, the rx buffer is the value buffer,\n"
+                "and the index nodes are persistent packet metadata.",
+}
+
+
+def tour(engine):
+    testbed = make_testbed(engine=engine)
+    wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
+                    value_size=1024, duration_ns=1_500_000, warmup_ns=300_000)
+    stats = wrk.run()
+    puts = max(1, testbed.kv.stats["puts"])
+    acct = testbed.server.accounting
+
+    print("=" * 68)
+    print(f"server = {engine}")
+    print(STORIES[engine])
+    print()
+    print(f"  average RTT: {stats.avg_rtt_us:6.2f} µs   "
+          f"throughput: {stats.throughput_krps:5.1f} krps")
+    print(f"  server-side CPU per request:")
+    total = 0.0
+    for category, label in CATEGORIES:
+        per_request = ns_to_us(acct.category(category) / puts)
+        total += per_request
+        if per_request > 0.005:
+            print(f"    {label:28s} {per_request:6.2f} µs")
+    print(f"    {'TOTAL server CPU':28s} {total:6.2f} µs")
+    print()
+    return stats.avg_rtt_us
+
+
+def main():
+    print(__doc__)
+    rtts = {engine: tour(engine) for engine in ("null", "rawpm", "novelsm", "pktstore")}
+    print("=" * 68)
+    print("Summary (end-to-end RTT):")
+    for engine, rtt in rtts.items():
+        bar = "#" * int(rtt)
+        print(f"  {engine:10s} {rtt:6.2f} µs  {bar}")
+    saved = rtts["novelsm"] - rtts["pktstore"]
+    print(f"\nRepurposing networking features reclaims {saved:.2f} µs per write —")
+    print("roughly the checksum + copy + preparation rows of Table 1.")
+
+
+if __name__ == "__main__":
+    main()

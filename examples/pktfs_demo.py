@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""PktFS: files whose inodes are packet metadata (§4.2).
+
+A CDN-flavoured demo: a client uploads objects over HTTP; the server
+*ingests the packets themselves* as file extents (no copy — the
+payload stays where the NIC DMA'd it, in persistent memory).  The NIC
+hardware timestamp becomes the mtime.  After a crash + remount, the
+same files are served back zero-copy from their extents.
+
+Run:  python examples/pktfs_demo.py
+"""
+
+from repro.bench.costmodel import CostModel
+from repro.core.pktfs import PktFS
+from repro.net.fabric import Fabric
+from repro.net.http import HttpParser, build_request, build_response
+from repro.net.pool import BufferPool
+from repro.net.stack import Host
+from repro.pm.device import PMDevice
+from repro.pm.namespace import PMNamespace
+from repro.sim.engine import Simulator
+
+
+def build_world():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    pm = PMDevice(64 << 20, name="optane")
+    ns = PMNamespace(pm)
+    server = Host(sim, "edge", "10.0.0.1", fabric, CostModel.paste(),
+                  rx_pool_region=ns.create("rx-pool", 8 << 20))
+    client = Host(sim, "origin", "10.0.0.2", fabric, CostModel.kernel())
+    fs = PktFS.create(ns.create("pktfs-meta", 2 << 20), server.rx_pool)
+    return sim, server, client, fs, pm, ns
+
+
+def file_server(fs):
+    """PUT /name uploads (ingest); GET /name serves zero-copy."""
+
+    def on_accept(sock, ctx):
+        parser = HttpParser()
+
+        def on_data(_sock, segment, c):
+            for message in parser.feed(segment, c, sock._stack.costs):
+                name = (message.path or "/").lstrip("/")
+                if message.method == "PUT":
+                    fs.ingest(name, message)
+                    sock.send(build_response(201), c)
+                elif message.method == "GET" and fs.exists(name):
+                    stat = fs.stat(name)
+                    sock.send(build_response(
+                        200, b"", {"Content-Length-Actual": str(stat.size)}
+                    ), c)
+                    fs.send_file(name, sock, c)  # extents -> TCP frags
+                else:
+                    sock.send(build_response(404), c)
+                message.release()
+
+        sock.on_data = on_data
+
+    return on_accept
+
+
+def upload(sim, client, objects):
+    done = {"n": 0}
+    parser = HttpParser(is_response=True)
+
+    def start(ctx):
+        sock = client.stack.connect("10.0.0.1", 80, ctx)
+        names = list(objects)
+
+        def send_next(c):
+            if done["n"] < len(names):
+                name = names[done["n"]]
+                sock.send(build_request("PUT", f"/{name}", objects[name]), c)
+
+        def on_data(_s, seg, c):
+            for message in parser.feed(seg):
+                message.release()
+                done["n"] += 1
+                send_next(c)
+
+        sock.on_data = on_data
+        sock.on_established = lambda s, c: send_next(c)
+
+    client.process_on_core(client.cpus[0], start)
+    sim.run_until_idle()
+
+
+def main():
+    sim, server, client, fs, pm, ns = build_world()
+    server.stack.listen(80, file_server(fs))
+
+    objects = {
+        "index.html": b"<html><body>edge copy</body></html>" * 20,
+        "logo.png": bytes(range(256)) * 16,          # 4 KB, multi-segment
+        "app.js": b"function main(){}\n" * 300,      # ~5.4 KB
+    }
+    print("Uploading", len(objects), "objects over HTTP/TCP ...")
+    upload(sim, client, objects)
+
+    print("\nPktFS contents (inodes = packet metadata):")
+    for name in fs.list():
+        stat = fs.stat(name)
+        print(f"  {name:12s} {stat.size:6d} B  extents={stat.nextents}  "
+              f"mtime(NIC)={stat.mtime / 1000:.2f}µs  crc=0x{stat.checksum:08x}")
+        assert fs.read(name, verify=True) == objects[name]
+
+    print("\nCrash!  Losing all volatile state ...")
+    pm.crash()
+    ns2 = PMNamespace.reopen(pm)
+    pool2 = BufferPool(ns2.open("rx-pool"), 2048)
+    fs2, report = PktFS.recover(ns2.open("pktfs-meta"), pool2)
+    print(f"Remounted: {report.recovered} inodes, "
+          f"{report.adopted_buffers} data pages re-adopted.")
+
+    for name, content in objects.items():
+        assert fs2.read(name, verify=True) == content
+    print("All files intact and checksum-verified after remount.")
+
+    served = fs2.read("logo.png")
+    print(f"\nServing logo.png zero-copy: {len(served)} bytes from "
+          f"{fs2.stat('logo.png').nextents} PM extents — no copies made.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Packets as Persistent In-Memory Data Structures — full reproduction.
+
+A simulation-based reproduction of Michio Honda's HotNets 2021 paper:
+the measurement study (Table 1, Figure 2) and a working build of the
+proposal — network packet metadata as persistent storage structures.
+
+Quick start::
+
+    from repro import make_testbed, WrkClient
+
+    testbed = make_testbed(engine="pktstore")
+    stats = WrkClient(testbed.client, "10.0.0.1", connections=25).run()
+    print(stats.avg_rtt_us, stats.throughput_krps)
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.sim` — discrete-event engine, CPU cores, cost contexts.
+- :mod:`repro.pm` — persistent-memory devices, flush/fence semantics,
+  allocators, DAX-style namespaces, crash injection.
+- :mod:`repro.net` — packets, TCP, the Homa-like transport, NIC
+  offloads, fabric, host stacks (including PASTE mode).
+- :mod:`repro.storage` — skip lists, WAL, SSTables, the LSM store
+  (LevelDB/NoveLSM), networked KV servers.
+- :mod:`repro.core` — the paper's contribution: persistent packet
+  metadata, the packet-native store, PktFS, recovery, precv/psend.
+- :mod:`repro.bench` — calibrated cost model, wrk-style clients,
+  testbed builder, Table 1 / Figure 2 drivers.
+"""
+
+__version__ = "1.0.0"
+
+from repro.bench.testbed import Testbed, make_testbed, preload
+from repro.bench.wrk import HomaWrkClient, WrkClient
+from repro.bench.table1 import run_table1
+from repro.bench.figure2 import run_figure2
+from repro.core import PacketIO, PacketStore, PktFS
+from repro.pm import PMDevice, PMNamespace
+from repro.sim import ExecutionContext, Simulator
+
+__all__ = [
+    "__version__",
+    "Testbed",
+    "make_testbed",
+    "preload",
+    "WrkClient",
+    "HomaWrkClient",
+    "run_table1",
+    "run_figure2",
+    "PacketStore",
+    "PktFS",
+    "PacketIO",
+    "PMDevice",
+    "PMNamespace",
+    "Simulator",
+    "ExecutionContext",
+]

@@ -1,0 +1,16 @@
+"""Benchmark harness: cost model, workload generator, experiment drivers.
+
+- :mod:`repro.bench.costmodel` — per-operation CPU costs, calibrated to
+  the paper's Table 1.
+- :mod:`repro.bench.wrk` — the ``wrk``-like closed-loop HTTP load
+  generator used for every experiment.
+- :mod:`repro.bench.testbed` — one-call construction of the paper's
+  two-host testbed in every storage configuration.
+- :mod:`repro.bench.table1` / :mod:`repro.bench.figure2` — drivers that
+  regenerate the paper's Table 1 and Figure 2 (plus the extension
+  experiments indexed in DESIGN.md).
+"""
+
+from repro.bench.costmodel import CostModel
+
+__all__ = ["CostModel"]

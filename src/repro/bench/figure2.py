@@ -1,0 +1,117 @@
+"""Figure 2: latency and throughput over parallel persistent connections.
+
+The paper plots continual 1 KB writes over {1, 25, 50, 75, 100}
+connections for two servers — *net.+persist.* (raw copy+flush into PM)
+and *net.+data mgmt.+persist.* (full NoveLSM) — and reports that data
+management costs 9-28 % of throughput and 11-41 % of latency, growing
+with concurrency because the single server core queues requests.
+
+:func:`run_figure2` regenerates both series (optionally a third,
+``pktstore``, for the §4.2 projection — Ext-B in DESIGN.md).  The
+measurement window scales with the connection count so that each point
+covers many queue drains.
+
+Run as ``repro-figure2`` or call :func:`run_figure2`.
+"""
+
+from repro.bench.report import format_table, us
+from repro.bench.testbed import make_testbed
+from repro.bench.wrk import WrkClient
+
+CONNECTIONS = (1, 25, 50, 75, 100)
+
+#: The paper's headline bands for the NoveLSM-vs-raw penalty.
+PAPER_THROUGHPUT_PENALTY = (9.0, 28.0)
+PAPER_LATENCY_PENALTY = (11.0, 41.0)
+
+
+class Figure2Point:
+    __slots__ = ("engine", "connections", "avg_rtt_us", "p99_rtt_us",
+                 "throughput_krps", "samples")
+
+    def __init__(self, engine, connections, stats):
+        self.engine = engine
+        self.connections = connections
+        self.avg_rtt_us = stats.avg_rtt_us
+        self.p99_rtt_us = stats.percentile_us(99)
+        self.throughput_krps = stats.throughput_krps
+        self.samples = len(stats.rtts_ns)
+
+    def __repr__(self):
+        return (
+            f"<Figure2Point {self.engine} n={self.connections} "
+            f"{self.avg_rtt_us:.1f}us {self.throughput_krps:.1f}krps>"
+        )
+
+
+def measure_point(engine, connections, value_size=1024,
+                  base_duration_ns=5_000_000.0, base_warmup_ns=1_500_000.0):
+    """One (engine, connection-count) cell of Figure 2."""
+    duration = max(base_duration_ns, connections * 120_000.0)
+    warmup = max(base_warmup_ns, connections * 40_000.0)
+    testbed = make_testbed(engine=engine)
+    wrk = WrkClient(
+        testbed.client, "10.0.0.1", connections=connections,
+        value_size=value_size, duration_ns=duration, warmup_ns=warmup,
+    )
+    stats = wrk.run()
+    return Figure2Point(engine, connections, stats)
+
+
+def run_figure2(connections=CONNECTIONS, engines=("rawpm", "novelsm"), **kwargs):
+    """The full sweep; returns {engine: [Figure2Point, ...]}."""
+    series = {engine: [] for engine in engines}
+    for count in connections:
+        for engine in engines:
+            series[engine].append(measure_point(engine, count, **kwargs))
+    return series
+
+
+def penalties(series):
+    """Per-connection-count penalty of novelsm vs rawpm (percent)."""
+    out = []
+    for raw, nov in zip(series["rawpm"], series["novelsm"]):
+        latency = (nov.avg_rtt_us / raw.avg_rtt_us - 1.0) * 100.0
+        throughput = (1.0 - nov.throughput_krps / raw.throughput_krps) * 100.0
+        out.append((raw.connections, latency, throughput))
+    return out
+
+
+def render(series):
+    rows = []
+    for engine, points in series.items():
+        for point in points:
+            rows.append((
+                engine, point.connections, us(point.avg_rtt_us),
+                us(point.p99_rtt_us), us(point.throughput_krps), point.samples,
+            ))
+    table = format_table(
+        "Figure 2: continual 1 KB writes over parallel TCP connections",
+        ["series", "conns", "avg RTT (µs)", "p99 (µs)", "tput (krps)", "samples"],
+        rows,
+    )
+    if "rawpm" in series and "novelsm" in series:
+        lines = [table, "", "Data-management penalty (novelsm vs rawpm):"]
+        for conns, latency, throughput in penalties(series):
+            lines.append(
+                f"  n={conns:<4d} latency +{latency:.1f}%   throughput -{throughput:.1f}%"
+            )
+        lines.append(
+            f"  paper: latency +{PAPER_LATENCY_PENALTY[0]:.0f}..{PAPER_LATENCY_PENALTY[1]:.0f}%"
+            f"   throughput -{PAPER_THROUGHPUT_PENALTY[0]:.0f}..{PAPER_THROUGHPUT_PENALTY[1]:.0f}%"
+        )
+        return "\n".join(lines)
+    return table
+
+
+def main():
+    import sys
+
+    engines = ("rawpm", "novelsm")
+    if "--with-pktstore" in sys.argv:
+        engines = ("rawpm", "novelsm", "pktstore")
+    print(render(run_figure2(engines=engines)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Plain-text experiment reports: paper value vs measured, side by side."""
+
+
+def format_table(title, headers, rows):
+    """Render an aligned text table."""
+    widths = [len(h) for h in headers]
+    rendered = []
+    for row in rows:
+        cells = [str(cell) for cell in row]
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        rendered.append(cells)
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    sep = "-" * len(line)
+    out = [title, sep, line, sep]
+    for cells in rendered:
+        out.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def us(value):
+    return f"{value:.2f}"
+
+
+def pct_delta(measured, paper):
+    """Signed relative error of measured vs the paper's value."""
+    if paper == 0:
+        return "n/a"
+    return f"{(measured - paper) / paper * 100:+.1f}%"

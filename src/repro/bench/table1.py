@@ -1,0 +1,113 @@
+"""Table 1: latency breakdown of the RTT for a 1 KB write request.
+
+The paper measures a single persistent connection issuing 1 KB HTTP
+PUTs and decomposes the 34.79 µs RTT into networking (26.71),
+data-management rows (prep 0.70, checksum 1.77, copy 1.14,
+alloc+insert 2.78 — 6.39 total) and persistence (1.94).
+
+Reproduction method mirrors the paper's:
+
+- **networking** = mean RTT against the networking-only (null) server;
+- **total** = mean RTT against full NoveLSM;
+- the **row breakdown** comes from the server's per-category CPU
+  accounting over the NoveLSM run, divided by the request count —
+  equivalent to the paper's source-level instrumentation.
+
+Run as ``repro-table1`` or call :func:`run_table1`.
+"""
+
+from repro.bench.report import format_table, pct_delta, us
+from repro.bench.testbed import make_testbed
+from repro.bench.wrk import WrkClient
+from repro.sim.units import ns_to_us
+
+PAPER = {
+    "networking": 26.71,
+    "prep": 0.70,
+    "checksum": 1.77,
+    "copy": 1.14,
+    "alloc_insert": 2.78,
+    "datamgmt": 6.39,
+    "persistence": 1.94,
+    "total": 34.79,
+}
+
+
+class Table1Result:
+    """Measured microsecond values for every Table 1 row."""
+
+    def __init__(self, networking, prep, checksum, copy, alloc_insert,
+                 persistence, total):
+        self.networking = networking
+        self.prep = prep
+        self.checksum = checksum
+        self.copy = copy
+        self.alloc_insert = alloc_insert
+        self.datamgmt = prep + checksum + copy + alloc_insert
+        self.persistence = persistence
+        self.total = total
+
+    def rows(self):
+        return [
+            ("Networking", "networking", self.networking),
+            ("Request preparation", "prep", self.prep),
+            ("Checksum calculation", "checksum", self.checksum),
+            ("Data copy", "copy", self.copy),
+            ("Buffer allocation and insertion", "alloc_insert", self.alloc_insert),
+            ("Data management (sum)", "datamgmt", self.datamgmt),
+            ("Flush CPU caches to PM", "persistence", self.persistence),
+            ("Total", "total", self.total),
+        ]
+
+    def as_dict(self):
+        return {key: value for _label, key, value in self.rows()}
+
+
+def _measure_rtt(engine, duration_ns, warmup_ns, value_size):
+    testbed = make_testbed(engine=engine)
+    wrk = WrkClient(
+        testbed.client, "10.0.0.1", connections=1, value_size=value_size,
+        duration_ns=duration_ns, warmup_ns=warmup_ns,
+    )
+    stats = wrk.run()
+    return stats, testbed
+
+
+def run_table1(duration_ns=3_000_000.0, warmup_ns=500_000.0, value_size=1024):
+    """Measure every Table 1 row; returns a :class:`Table1Result`."""
+    null_stats, _ = _measure_rtt("null", duration_ns, warmup_ns, value_size)
+    full_stats, testbed = _measure_rtt("novelsm", duration_ns, warmup_ns, value_size)
+
+    puts = max(1, testbed.kv.stats["puts"])
+    acct = testbed.server.accounting
+    per_request = lambda category: ns_to_us(acct.category(category) / puts)
+
+    return Table1Result(
+        networking=null_stats.avg_rtt_us,
+        prep=per_request("datamgmt.prep"),
+        checksum=per_request("datamgmt.checksum"),
+        copy=per_request("datamgmt.copy"),
+        alloc_insert=per_request("datamgmt.insert"),
+        persistence=per_request("persist"),
+        total=full_stats.avg_rtt_us,
+    )
+
+
+def render(result):
+    rows = []
+    for label, key, measured in result.rows():
+        paper = PAPER[key]
+        rows.append((label, us(paper), us(measured), pct_delta(measured, paper)))
+    return format_table(
+        "Table 1: latency breakdown of a 1 KB write RTT (µs)",
+        ["Operation", "paper", "measured", "delta"],
+        rows,
+    )
+
+
+def main():
+    print(render(run_table1()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""YCSB-style workload generation for the KV benchmarks.
+
+The paper's measurement uses wrk's uniform continual writes; downstream
+users of a KV store usually characterise it with the YCSB mixes.  This
+module provides the standard ones over a Zipfian key popularity
+distribution (Gray et al.'s generator, as used by YCSB itself):
+
+========  ======================  =======================
+workload  operation mix           classic YCSB analogue
+========  ======================  =======================
+``A``     50 % reads, 50 % updates  session stores
+``B``     95 % reads, 5 % updates   photo tagging
+``C``     100 % reads               user-profile caches
+``W``     100 % writes              the paper's §3 workload
+========  ======================  =======================
+
+Use with :class:`~repro.bench.wrk.WrkClient` via the ``workload=``
+parameter; keys are drawn Zipf(θ)-skewed from a fixed key space that
+should be preloaded (`repro.bench.testbed.preload`).
+"""
+
+import math
+import random
+
+
+class ZipfianGenerator:
+    """Zipf-distributed integers in [0, nitems) (Gray et al. / YCSB).
+
+    θ = 0.99 is YCSB's default skew; θ → 0 approaches uniform.
+    """
+
+    def __init__(self, nitems, theta=0.99, seed=1):
+        if nitems < 1:
+            raise ValueError("need at least one item")
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        self.nitems = nitems
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self._zetan = self._zeta(nitems, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / nitems) ** (1.0 - theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+
+    @staticmethod
+    def _zeta(n, theta):
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self):
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.nitems * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+    def sample(self, count):
+        return [self.next() for _ in range(count)]
+
+
+class YcsbWorkload:
+    """An operation-mix + key-distribution bundle for the wrk clients."""
+
+    MIXES = {
+        "A": 0.5,
+        "B": 0.95,
+        "C": 1.0,
+        "W": 0.0,
+    }
+
+    def __init__(self, mix="A", key_space=1000, value_size=1024,
+                 theta=0.99, seed=1, key_prefix="warm"):
+        if mix not in self.MIXES:
+            raise ValueError(f"unknown mix {mix!r}; pick one of {sorted(self.MIXES)}")
+        self.mix = mix
+        self.read_fraction = self.MIXES[mix]
+        self.key_space = key_space
+        self.value_size = value_size
+        self.key_prefix = key_prefix
+        self._zipf = ZipfianGenerator(key_space, theta, seed)
+        self._rng = random.Random(seed ^ 0x5EED)
+        self._value = bytes((0x41 + (i % 26)) for i in range(value_size))
+        self.issued_reads = 0
+        self.issued_writes = 0
+
+    def next_op(self):
+        """(method, key_string, value_bytes_or_None) for the next request."""
+        key = f"{self.key_prefix}-{self._zipf.next()}"
+        if self._rng.random() < self.read_fraction:
+            self.issued_reads += 1
+            return "GET", key, None
+        self.issued_writes += 1
+        return "PUT", key, self._value
+
+    def __repr__(self):
+        return (
+            f"<YcsbWorkload {self.mix} keys={self.key_space} "
+            f"value={self.value_size}B θ={self._zipf.theta}>"
+        )

@@ -1,0 +1,292 @@
+"""``wrk``-like closed-loop HTTP load generator.
+
+The paper's client runs wrk over one or more persistent TCP
+connections; each connection issues the next request the moment the
+previous response lands.  This module reproduces that: per-connection
+closed loops, RTT measured from the completion of the processing slice
+that *sent* the request to the completion of the slice that *parsed*
+its response (i.e. syscall-to-syscall, like wrk), with a warmup cut.
+
+Latency/throughput statistics follow the paper's reporting: average
+RTT over the measurement window and completed requests per second.
+"""
+
+from repro.net.http import HttpParser, build_request
+from repro.sim.units import ns_to_us
+
+
+class WrkStats:
+    """Collected results of one run."""
+
+    def __init__(self):
+        self.rtts_ns = []
+        self.completed = 0
+        self.errors = 0
+        self.measure_start = None
+        self.measure_end = None
+
+    @property
+    def avg_rtt_us(self):
+        if not self.rtts_ns:
+            return 0.0
+        return ns_to_us(sum(self.rtts_ns) / len(self.rtts_ns))
+
+    def percentile_us(self, p):
+        if not self.rtts_ns:
+            return 0.0
+        ordered = sorted(self.rtts_ns)
+        index = min(len(ordered) - 1, int(p / 100.0 * len(ordered)))
+        return ns_to_us(ordered[index])
+
+    @property
+    def throughput_krps(self):
+        if self.measure_start is None or self.measure_end is None or \
+                self.measure_end <= self.measure_start:
+            return 0.0
+        window_s = (self.measure_end - self.measure_start) / 1e9
+        return len(self.rtts_ns) / window_s / 1e3
+
+    def __repr__(self):
+        return (
+            f"<WrkStats n={len(self.rtts_ns)} avg={self.avg_rtt_us:.2f}us "
+            f"tput={self.throughput_krps:.1f}krps>"
+        )
+
+
+class _Connection:
+    """One closed-loop persistent connection."""
+
+    def __init__(self, client, conn_id):
+        self.client = client
+        self.conn_id = conn_id
+        self.parser = HttpParser(is_response=True)
+        self.sock = None
+        self.inflight_since = None
+        self.sent = 0
+        self.stopped = False
+
+    def open(self):
+        host = self.client.host
+        core = host.cpus.assign()
+
+        def do_connect(ctx):
+            self.sock = host.stack.connect(
+                self.client.server_ip, self.client.port, ctx, core=core
+            )
+            self.sock.on_established = self._established
+            self.sock.on_reset = lambda s: self.client._conn_error(self)
+
+        host.process_on_core(core, do_connect)
+
+    def _established(self, sock, ctx):
+        sock.on_data = self._on_data
+        self._send_next(ctx)
+
+    def _send_next(self, ctx):
+        """Issue the next request within the current processing slice."""
+        if self.stopped or self.client.host.sim.now >= self.client.stop_at:
+            self.stopped = True
+            self.client._conn_finished(self)
+            return
+        request = self.client.next_request(self)
+        self.sent += 1
+        self.client.costs.charge_http_build(ctx)
+        self.sock.send(request, ctx)
+        self.client.host.call_at_completion(self._mark_sent)
+
+    def _mark_sent(self, t_end, ctx):
+        self.inflight_since = t_end
+
+    def _on_data(self, sock, segment, ctx):
+        messages = self.parser.feed(segment, ctx, self.client.costs)
+        for message in messages:
+            if message.status is not None and message.status >= 500:
+                self.client.stats.errors += 1
+            message.release()
+            started = self.inflight_since
+            self.client.host.call_at_completion(
+                lambda t_end, c, started=started: self.client._record(started, t_end)
+            )
+            self._send_next(ctx)
+
+
+class WrkClient:
+    """Drives N closed-loop connections against one server."""
+
+    def __init__(self, host, server_ip, port=80, connections=1,
+                 value_size=1024, method="PUT", key_space=1000,
+                 duration_ns=20_000_000.0, warmup_ns=5_000_000.0,
+                 key_prefix="key", workload=None):
+        self.host = host
+        self.costs = host.costs
+        self.server_ip = server_ip
+        self.port = port
+        self.connections = connections
+        self.value_size = value_size
+        self.method = method
+        self.key_space = key_space
+        self.duration_ns = duration_ns
+        self.warmup_ns = warmup_ns
+        self.key_prefix = key_prefix
+        #: Optional mixed-operation generator (see repro.bench.workloads);
+        #: overrides method/key generation when set.
+        self.workload = workload
+        self.stats = WrkStats()
+        self._conns = []
+        self._active = 0
+        self._value = bytes(
+            (0x61 + (i % 23)) for i in range(value_size)
+        )
+        self._counter = 0
+        self.started_at = None
+        self.stop_at = None
+
+    # -- workload -----------------------------------------------------------
+
+    def next_request(self, conn):
+        if self.workload is not None:
+            method, key, value = self.workload.next_op()
+            if method == "GET":
+                return build_request("GET", f"/{key}")
+            return build_request(method, f"/{key}", value)
+        self._counter += 1
+        key = f"{self.key_prefix}-{conn.conn_id}-{self._counter % self.key_space}"
+        if self.method == "GET":
+            return build_request("GET", f"/{key}")
+        return build_request(self.method, f"/{key}", self._value)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self):
+        """Open every connection; the loops then self-sustain."""
+        sim = self.host.sim
+        self.started_at = sim.now
+        self.stop_at = sim.now + self.warmup_ns + self.duration_ns
+        self.stats.measure_start = sim.now + self.warmup_ns
+        self.stats.measure_end = self.stop_at
+        for conn_id in range(self.connections):
+            conn = _Connection(self, conn_id)
+            self._conns.append(conn)
+            self._active += 1
+            conn.open()
+        return self
+
+    def run(self):
+        """Start (if needed) and run the simulator until all loops stop."""
+        if self.started_at is None:
+            self.start()
+        # Loops stop by themselves at stop_at; allow trailing ACK traffic.
+        self.host.sim.run(until=self.stop_at + 5_000_000.0)
+        return self.stats
+
+    def _record(self, started, finished):
+        """Count a completion; it lands in the stats if it *finished*
+        inside the measurement window (standard load-generator practice
+        — requiring the start inside too would bias throughput down
+        whenever RTT is comparable to the window)."""
+        self.stats.completed += 1
+        if started is None:
+            return
+        if self.stats.measure_start <= finished <= self.stats.measure_end:
+            self.stats.rtts_ns.append(finished - started)
+
+    def _conn_finished(self, conn):
+        self._active -= 1
+
+    def _conn_error(self, conn):
+        self.stats.errors += 1
+        self._active -= 1
+
+    def __repr__(self):
+        return f"<WrkClient {self.connections} conns {self.method} {self.value_size}B>"
+
+
+class HomaWrkClient:
+    """Closed-loop load generator over the Homa-like transport (§5.2).
+
+    Same workload and statistics as :class:`WrkClient`, but each
+    request/response pair is a pair of Homa messages — no connections,
+    no handshake, receiver-driven flow control.  ``connections`` here
+    means independent closed loops.
+    """
+
+    def __init__(self, host, server_ip, port=80, connections=1,
+                 value_size=1024, method="PUT", key_space=1000,
+                 duration_ns=20_000_000.0, warmup_ns=5_000_000.0,
+                 key_prefix="key"):
+        self.host = host
+        self.costs = host.costs
+        self.transport = host.enable_homa()
+        self.server_ip = server_ip
+        self.port = port
+        self.connections = connections
+        self.value_size = value_size
+        self.method = method
+        self.key_space = key_space
+        self.duration_ns = duration_ns
+        self.warmup_ns = warmup_ns
+        self.key_prefix = key_prefix
+        self.stats = WrkStats()
+        self._value = bytes((0x61 + (i % 23)) for i in range(value_size))
+        self._counter = 0
+        self.stop_at = None
+
+    def _request_bytes(self, loop_id):
+        self._counter += 1
+        key = f"{self.key_prefix}-{loop_id}-{self._counter % self.key_space}"
+        if self.method == "GET":
+            return build_request("GET", f"/{key}")
+        return build_request(self.method, f"/{key}", self._value)
+
+    def start(self):
+        sim = self.host.sim
+        self.stop_at = sim.now + self.warmup_ns + self.duration_ns
+        self.stats.measure_start = sim.now + self.warmup_ns
+        self.stats.measure_end = self.stop_at
+        for loop_id in range(self.connections):
+            core = self.host.cpus.assign()
+            self.host.process_on_core(
+                core, lambda ctx, lid=loop_id: self._fire(lid, ctx)
+            )
+        return self
+
+    def _fire(self, loop_id, ctx):
+        if self.host.sim.now >= self.stop_at:
+            return
+        state = {"sent_at": None}
+        self.costs.charge_http_build(ctx)
+        self.costs.charge_sock_send(ctx)
+
+        def on_reply(segments, reply_ctx):
+            # Parse (and charge) the response like wrk would.
+            parser = HttpParser(is_response=True)
+            for segment in segments:
+                for message in parser.feed(segment, reply_ctx, self.costs):
+                    if message.status is not None and message.status >= 500:
+                        self.stats.errors += 1
+                    message.release()
+            self.host.call_at_completion(
+                lambda t_end, c: self._done(loop_id, state["sent_at"], t_end)
+            )
+
+        self.transport.send_request(
+            self.server_ip, self.port, self._request_bytes(loop_id),
+            ctx, on_reply=on_reply,
+        )
+        self.host.call_at_completion(
+            lambda t_end, c: state.update(sent_at=t_end)
+        )
+
+    def _done(self, loop_id, started, finished):
+        self.stats.completed += 1
+        if started is not None and \
+                self.stats.measure_start <= finished <= self.stats.measure_end:
+            self.stats.rtts_ns.append(finished - started)
+        core = self.host.cpus.assign()
+        self.host.process_on_core(core, lambda ctx: self._fire(loop_id, ctx))
+
+    def run(self):
+        if self.stop_at is None:
+            self.start()
+        self.host.sim.run(until=self.stop_at + 5_000_000.0)
+        return self.stats

@@ -1,0 +1,40 @@
+"""The paper's proposal: packets as persistent in-memory data structures.
+
+Everything in §4-§5 of the paper, built on the substrates:
+
+- :mod:`repro.core.ppktbuf` — *persistent packet metadata*: a compact,
+  cache-line-friendly, CRC-protected record in PM that captures what an
+  ``sk_buff`` knows (payload references, NIC hardware timestamp, the
+  NIC-verified TCP checksum) plus skip-list links, so the metadata
+  itself is the storage index node (§4.1, §5.1).
+- :mod:`repro.core.pktstore` — the packet-native key-value store
+  (§4.2): values stay in the PM packet buffers they were DMA'd into
+  (zero copy), integrity comes from the reused TCP checksum (zero
+  CPU), timestamps from the NIC, and allocation from the packet pools
+  — eliminating, by construction, the checksum/copy/allocator rows of
+  Table 1.
+- :mod:`repro.core.pktfs` — the packet-metadata file system sketch
+  (§4.2): inodes are chains of persistent packet metadata; files can
+  be ingested straight from received packets and served zero-copy.
+- :mod:`repro.core.recovery` — shared post-crash scanning helpers and
+  the recovery report.
+- :mod:`repro.core.api` — the post-POSIX interface (§5.1):
+  ``precv``/``psend`` pass packet metadata between stack and storage
+  application instead of copying byte streams.
+"""
+
+from repro.core.ppktbuf import PPktRecord, PMetaSlab
+from repro.core.pktstore import PacketStore, PacketStoreEngine
+from repro.core.pktfs import PktFS
+from repro.core.recovery import RecoveryReport
+from repro.core.api import PacketIO
+
+__all__ = [
+    "PPktRecord",
+    "PMetaSlab",
+    "PacketStore",
+    "PacketStoreEngine",
+    "PktFS",
+    "RecoveryReport",
+    "PacketIO",
+]

@@ -1,0 +1,33 @@
+"""Shared post-crash recovery reporting.
+
+Both the packet store and the packet file system recover the same way
+(§5.1's crash-consistency agenda): walk the persistent metadata from a
+named root, validate each record's CRC, adopt everything reachable,
+and garbage-collect the rest (allocations that were in flight when the
+power failed).  :class:`RecoveryReport` is the common summary.
+"""
+
+
+class RecoveryReport:
+    """What a recovery pass found."""
+
+    def __init__(self):
+        #: Committed entries that survived (reachable + CRC-valid).
+        self.recovered = 0
+        #: Metadata records discarded (unreachable or torn).
+        self.discarded_records = 0
+        #: Packet-buffer slots re-adopted as live payload.
+        self.adopted_buffers = 0
+        #: Packet-buffer slots returned to the pool.
+        self.reclaimed_buffers = 0
+        #: Highest sequence number seen (the store resumes after it).
+        self.max_seq = 0
+        #: Wall-clock-equivalent simulated cost of the scan, if charged.
+        self.scan_cost_ns = 0.0
+
+    def __repr__(self):
+        return (
+            f"<RecoveryReport recovered={self.recovered} "
+            f"discarded={self.discarded_records} "
+            f"buffers={self.adopted_buffers}+{self.reclaimed_buffers}r>"
+        )

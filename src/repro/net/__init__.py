@@ -1,0 +1,61 @@
+"""Network substrate: packets, protocols, NICs, fabric and host stacks.
+
+This package is a from-scratch software network stack in the image of
+the one the paper builds on (Linux TCP/IP + PASTE):
+
+- :mod:`repro.net.checksum` — internet checksum and CRC32C.
+- :mod:`repro.net.headers` — Ethernet/IPv4/TCP wire codecs.
+- :mod:`repro.net.pktbuf` — ``sk_buff``-analog packet metadata
+  (Figure 3 of the paper): refcounted shared data, clones, frag pages,
+  timestamps, header offsets.
+- :mod:`repro.net.pool` — packet-buffer pools over DRAM or PM regions
+  (a PM-backed pool is PASTE's persistent packet buffer).
+- :mod:`repro.net.rbtree` — the red-black tree TCP keeps out-of-order
+  segments in (§4.2 cites it as evidence of packet-metadata
+  flexibility).
+- :mod:`repro.net.tcp` — reliable transport: handshake, segmentation,
+  cumulative/selective-repeat ACKing, retransmission from cloned
+  packet metadata, out-of-order reassembly, Reno congestion control.
+- :mod:`repro.net.nic` — NIC model with checksum offload, TSO and
+  hardware timestamps.
+- :mod:`repro.net.fabric` — links and a switch, with loss/reorder/
+  corruption injection for property tests.
+- :mod:`repro.net.stack` — the host stack: sockets, demux, busy-poll
+  run-to-completion processing, PASTE mode (PM packet pools +
+  zero-copy buffer extraction).
+- :mod:`repro.net.http` — the HTTP/1.1 subset the paper's workload
+  (wrk PUT/GET) speaks.
+"""
+
+from repro.net.checksum import crc32c, internet_checksum
+from repro.net.pool import BufferPool, PacketBuffer, PoolExhausted
+from repro.net.pktbuf import PktBuf
+from repro.net.rbtree import RBTree
+from repro.net.headers import EthernetHeader, IPv4Header, TCPHeader
+from repro.net.fabric import Fabric, Link, LinkFaults
+from repro.net.nic import Nic, NicFeatures
+from repro.net.tcp import TcpConnection, TcpState
+from repro.net.stack import Host, NetworkStack, Socket
+
+__all__ = [
+    "crc32c",
+    "internet_checksum",
+    "BufferPool",
+    "PacketBuffer",
+    "PoolExhausted",
+    "PktBuf",
+    "RBTree",
+    "EthernetHeader",
+    "IPv4Header",
+    "TCPHeader",
+    "Fabric",
+    "Link",
+    "LinkFaults",
+    "Nic",
+    "NicFeatures",
+    "TcpConnection",
+    "TcpState",
+    "Host",
+    "NetworkStack",
+    "Socket",
+]

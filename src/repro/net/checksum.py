@@ -1,0 +1,79 @@
+"""Checksums: the RFC 1071 internet checksum and CRC32C.
+
+Two checksums matter to the paper:
+
+- The **TCP/IP internet checksum** protects every segment on the wire.
+  Modern NICs compute and verify it in hardware ("checksum offload",
+  enabled on both of the paper's machines), so it is free to the CPU —
+  which is exactly why §4.2 proposes reusing it as the stored-data
+  integrity checksum.
+- **CRC32C** is what LevelDB (and our NoveLSM) computes in software
+  over every value it stores: the 1.77 µs row of Table 1.
+
+Both are implemented for real here — benches charge modeled cost, but
+tests verify actual bit-level behaviour (corruption detection, known
+vectors).
+"""
+
+# CRC32C (Castagnoli) table, generated once at import.
+_CRC32C_POLY = 0x82F63B78
+_CRC32C_TABLE = []
+for _i in range(256):
+    _crc = _i
+    for _ in range(8):
+        _crc = (_crc >> 1) ^ _CRC32C_POLY if _crc & 1 else _crc >> 1
+    _CRC32C_TABLE.append(_crc)
+
+
+def crc32c(data, seed=0):
+    """CRC32C (Castagnoli) of ``data``; matches the common library value."""
+    crc = seed ^ 0xFFFFFFFF
+    table = _CRC32C_TABLE
+    for byte in data:
+        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def internet_checksum(data, seed=0):
+    """RFC 1071 16-bit one's-complement sum of ``data``.
+
+    ``seed`` lets callers fold in a pseudo-header sum computed
+    separately (as TCP does).
+    """
+    total = seed
+    length = len(data)
+    # Sum 16-bit big-endian words.
+    for i in range(0, length - 1, 2):
+        total += (data[i] << 8) | data[i + 1]
+    if length & 1:
+        total += data[-1] << 8
+    # Fold carries.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def checksum_partial(data, seed=0):
+    """Unfolded one's-complement sum, for incremental computation."""
+    total = seed
+    length = len(data)
+    for i in range(0, length - 1, 2):
+        total += (data[i] << 8) | data[i + 1]
+    if length & 1:
+        total += data[-1] << 8
+    return total
+
+
+def checksum_finish(partial):
+    """Fold an accumulated partial sum and complement it."""
+    while partial >> 16:
+        partial = (partial & 0xFFFF) + (partial >> 16)
+    return (~partial) & 0xFFFF
+
+
+def verify_internet_checksum(data, seed=0):
+    """True iff ``data`` (which embeds its checksum field) sums to zero."""
+    total = checksum_partial(data, seed)
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total == 0xFFFF

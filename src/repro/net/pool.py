@@ -1,0 +1,158 @@
+"""Packet-buffer pools.
+
+A :class:`BufferPool` slices a memory :class:`~repro.pm.device.Region`
+into fixed-size slots and hands out refcounted :class:`PacketBuffer`
+handles.  The pool's region decides the semantics:
+
+- DRAM region → a normal kernel packet-buffer pool (skb data pages).
+- PM region → PASTE's persistent packet buffers: payload DMA'd into a
+  slot is *already in persistent memory*, so an application that takes
+  ownership of the buffer can persist it with a flush and no copy.
+
+Reference counting mirrors the paper's Figure 3: the *data* refcount
+lives here (``PacketBuffer.refcount``); packet-metadata refcounts live
+on :class:`~repro.net.pktbuf.PktBuf`.
+"""
+
+from repro.sim.context import NULL_CONTEXT
+
+
+class PoolExhausted(MemoryError):
+    """No free slots left in a buffer pool."""
+
+
+class PacketBuffer:
+    """A refcounted fixed-size slot of a pool's region."""
+
+    __slots__ = ("pool", "slot", "base", "size", "refcount")
+
+    def __init__(self, pool, slot, base, size):
+        self.pool = pool
+        self.slot = slot
+        self.base = base  # region-local offset of this slot
+        self.size = size
+        self.refcount = 1
+
+    def get(self):
+        """Take an additional data reference."""
+        if self.refcount <= 0:
+            raise RuntimeError("use-after-free of packet buffer")
+        self.refcount += 1
+        return self
+
+    def put(self):
+        """Drop a data reference; the slot returns to the pool at zero."""
+        if self.refcount <= 0:
+            raise RuntimeError("double free of packet buffer")
+        self.refcount -= 1
+        if self.refcount == 0:
+            self.pool._release(self.slot)
+        return self.refcount
+
+    def _check(self, offset, length):
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise IndexError(
+                f"buffer slot {self.slot}: access [{offset}, {offset + length}) "
+                f"outside {self.size} bytes"
+            )
+
+    def write(self, offset, data):
+        self._check(offset, len(data))
+        return self.pool.region.write(self.base + offset, data)
+
+    def read(self, offset, length):
+        self._check(offset, length)
+        return self.pool.region.read(self.base + offset, length)
+
+    def persist(self, offset, length, ctx=NULL_CONTEXT, category="pm.flush"):
+        """Flush+fence this range (meaningful only on a PM-backed pool)."""
+        self._check(offset, length)
+        return self.pool.region.persist(self.base + offset, length, ctx, category)
+
+    def flush(self, offset, length, ctx=NULL_CONTEXT, category="pm.flush"):
+        self._check(offset, length)
+        return self.pool.region.flush(self.base + offset, length, ctx, category)
+
+    @property
+    def persistent(self):
+        return self.pool.persistent
+
+    def region_offset(self, offset=0):
+        """Region-local address of a byte in this slot (for persistence records)."""
+        self._check(offset, 0)
+        return self.base + offset
+
+    def __repr__(self):
+        return f"<PacketBuffer slot={self.slot} size={self.size} ref={self.refcount}>"
+
+
+class BufferPool:
+    """Fixed-slot allocator over a region; LIFO free list for cache warmth."""
+
+    def __init__(self, region, slot_size=2048, name=None):
+        if slot_size <= 0:
+            raise ValueError("slot size must be positive")
+        self.region = region
+        self.slot_size = slot_size
+        self.name = name or f"pool:{region.name}"
+        self.nslots = region.size // slot_size
+        if self.nslots == 0:
+            raise ValueError(
+                f"region {region.name} ({region.size}B) smaller than one slot"
+            )
+        self._free = list(range(self.nslots - 1, -1, -1))
+        self._in_use = set()
+        self.allocs = 0
+        self.frees = 0
+        self.high_water = 0
+
+    @property
+    def persistent(self):
+        return self.region.persistent
+
+    @property
+    def in_use(self):
+        return len(self._in_use)
+
+    @property
+    def available(self):
+        return len(self._free)
+
+    def alloc(self):
+        """Take a slot; returns a fresh :class:`PacketBuffer` with refcount 1."""
+        if not self._free:
+            raise PoolExhausted(f"{self.name}: all {self.nslots} slots in use")
+        slot = self._free.pop()
+        self._in_use.add(slot)
+        self.allocs += 1
+        if len(self._in_use) > self.high_water:
+            self.high_water = len(self._in_use)
+        return PacketBuffer(self, slot, slot * self.slot_size, self.slot_size)
+
+    def _release(self, slot):
+        if slot not in self._in_use:
+            raise RuntimeError(f"{self.name}: releasing slot {slot} not in use")
+        self._in_use.remove(slot)
+        self._free.append(slot)
+        self.frees += 1
+
+    def slot_region_base(self, slot):
+        """Region-local base offset of a slot (used by recovery scans)."""
+        if not 0 <= slot < self.nslots:
+            raise IndexError(f"slot {slot} out of range")
+        return slot * self.slot_size
+
+    def buffer_at_slot(self, slot):
+        """Re-materialise a buffer handle for ``slot`` (recovery path).
+
+        The slot is marked in-use; the returned handle owns it.
+        """
+        if slot in self._in_use:
+            raise RuntimeError(f"slot {slot} already materialised")
+        self._free.remove(slot)
+        self._in_use.add(slot)
+        return PacketBuffer(self, slot, slot * self.slot_size, self.slot_size)
+
+    def __repr__(self):
+        kind = "PM" if self.persistent else "DRAM"
+        return f"<BufferPool {self.name} {kind} {self.in_use}/{self.nslots} in use>"

@@ -1,0 +1,481 @@
+"""Host network stack: sockets, demux, run-to-completion processing.
+
+:class:`Host` ties a CPU set, a NIC and a :class:`NetworkStack`
+together and implements the execution discipline that produces the
+paper's Figure 2: every packet (or timer) is processed run-to-
+completion on one core, the core serialises work, and packets produced
+during a processing slice leave the host when the slice *completes* on
+that core — so a slow storage stack delays every queued request behind
+it.
+
+PASTE mode (the paper's server configuration) is a host whose NIC rx
+pool lives in a **persistent-memory region**: payload is DMA'd straight
+into PM, and the application can take ownership of packet buffers
+(:meth:`~repro.net.tcp.RxSegment.retain` + ``steal_buffer``) and persist
+them with a flush — no copy.  A DRAM rx pool gives the classic stack.
+"""
+
+from repro.net.headers import (
+    ACK,
+    ETH_HEADER_LEN,
+    ETHERTYPE_IPV4,
+    IPV4_HEADER_LEN,
+    IPPROTO_TCP,
+    RST,
+    SYN,
+    TCP_HEADER_LEN,
+    EthernetHeader,
+    IPv4Header,
+    TCPHeader,
+    ip_to_int,
+)
+from repro.net.tcp import TcpConnection, TcpState
+from repro.pm.device import DRAMDevice
+from repro.net.pool import BufferPool
+from repro.sim import ExecutionContext
+from repro.sim.cpu import CpuSet
+
+
+def _mac_for_ip(ip_int):
+    """Deterministic pseudo-MAC so Ethernet headers are well-formed."""
+    return bytes([0x02, 0x00]) + ip_int.to_bytes(4, "big")
+
+
+class Socket:
+    """Application handle for one TCP connection."""
+
+    def __init__(self, stack, conn):
+        self._stack = stack
+        self.conn = conn
+        #: app callbacks: on_data(sock, RxSegment, ctx), on_established(sock, ctx),
+        #: on_close(sock), on_reset(sock)
+        self.on_data = None
+        self.on_established = None
+        self.on_close = None
+        self.on_reset = None
+        conn.on_data = self._deliver
+        conn.on_established = self._established
+        conn.on_close = self._closed
+        conn.on_reset = self._reset
+
+    # -- plumbing from the TCP layer -------------------------------------------
+
+    def _deliver(self, conn, segment, ctx):
+        if self.on_data is not None:
+            self.on_data(self, segment, ctx)
+
+    def _established(self, conn, ctx):
+        if self.on_established is not None:
+            self.on_established(self, ctx)
+
+    def _closed(self, conn):
+        if self.on_close is not None:
+            self.on_close(self)
+
+    def _reset(self, conn):
+        if self.on_reset is not None:
+            self.on_reset(self)
+
+    # -- app API -----------------------------------------------------------------
+
+    @property
+    def state(self):
+        return self.conn.state
+
+    @property
+    def core(self):
+        return self.conn.core
+
+    #: Fraction of the socket-send cost a corked (MSG_MORE) append pays:
+    #: it queues an iovec without running the transmit machinery.
+    CORKED_SEND_FRACTION = 0.3
+
+    def _charge_send(self, ctx, more):
+        if more:
+            ctx.charge(
+                self._stack.costs.sock_send * self.CORKED_SEND_FRACTION, "net.sock"
+            )
+        else:
+            self._stack.costs.charge_sock_send(ctx)
+
+    def send(self, data, ctx, more=False):
+        """Write bytes to the stream (copied into packet buffers).
+
+        ``more=True`` (MSG_MORE) enqueues without transmitting so
+        consecutive writes coalesce into full segments.
+        """
+        self._charge_send(ctx, more)
+        self.conn.send(data, ctx, more=more)
+
+    def send_buffer(self, buf, offset, length, ctx, more=False):
+        """Write a buffer slice zero-copy (psend-style, §5.1)."""
+        self._charge_send(ctx, more)
+        self.conn.send_buffer(buf, offset, length, ctx, more=more)
+
+    def close(self, ctx):
+        self.conn.close(ctx)
+
+    def abort(self, ctx):
+        self.conn.abort(ctx)
+
+    def __repr__(self):
+        return f"<Socket {self.conn!r}>"
+
+
+class NetworkStack:
+    """Protocol processing and connection demux for one host."""
+
+    def __init__(self, host, costs, tx_pool):
+        self.host = host
+        self.sim = host.sim
+        self.costs = costs
+        self.tx_pool = tx_pool
+        self.tx_headroom = ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + 10
+        self._connections = {}
+        self._listeners = {}
+        self._pending_tx = []
+        self._taps = []
+        #: When set (and the NIC has TSO), new connections emit jumbo
+        #: segments of this size and the NIC splits them on the wire.
+        self.gso_size = None
+        #: Advertised-window ceiling for new connections (16-bit max).
+        self.default_rcv_wnd = 65535
+        #: Delayed-ACK interval for new connections; None = quickack.
+        self.delack_ns = None
+        self._iss = 10_000
+        self._ephemeral = 40_000
+        self.stats = {
+            "rx_packets": 0, "rx_bad_csum": 0, "rx_no_socket": 0,
+            "tx_packets": 0, "rst_sent": 0, "tapped": 0,
+        }
+
+    # -- packet taps -----------------------------------------------------------
+
+    def add_tap(self, callback):
+        """Register a packet-capture consumer (Figure 3's second reader).
+
+        ``callback(pkt, ctx)`` runs for every received frame after
+        protocol parsing, holding its *own* metadata reference — the
+        clone/refcount machinery lets the capture path and the socket
+        path share payload without copies.  The tap must ``release()``
+        the packet when done (immediately after the callback returns is
+        fine; retaining longer is the point of refcounts).
+        """
+        self._taps.append(callback)
+        return callback
+
+    def remove_tap(self, callback):
+        self._taps.remove(callback)
+
+    def _run_taps(self, pkt, ctx):
+        for tap in self._taps:
+            self.stats["tapped"] += 1
+            tap(pkt.retain(), ctx)
+
+    # -- application surface -------------------------------------------------
+
+    def listen(self, port, on_accept):
+        """Accept connections on ``port``; ``on_accept(socket, ctx)`` fires
+        when each handshake completes."""
+        if port in self._listeners:
+            raise ValueError(f"port {port} already listening")
+        self._listeners[port] = on_accept
+
+    def connect(self, remote_ip, remote_port, ctx, core=None, local_port=None):
+        """Active open; returns the socket immediately (SYN in flight)."""
+        remote_ip = ip_to_int(remote_ip)
+        if local_port is None:
+            local_port = self._ephemeral
+            self._ephemeral += 1
+        core = core or self.host.cpus.assign()
+        conn = TcpConnection(
+            self, self.host.ip, local_port, remote_ip, remote_port,
+            core, self._next_iss(),
+        )
+        self._apply_gso(conn)
+        self._connections[conn.tuple4] = conn
+        sock = Socket(self, conn)
+        conn.open_active(ctx)
+        return sock
+
+    def _apply_gso(self, conn):
+        """Jumbo software segments when the NIC can split them (TSO)."""
+        if self.gso_size and self.host.nic.features.tso:
+            conn.mss = self.gso_size
+
+    def _next_iss(self):
+        self._iss += 100_000
+        return self._iss
+
+    def forget_connection(self, conn):
+        self._connections.pop(conn.tuple4, None)
+
+    def connection_count(self):
+        return len(self._connections)
+
+    # -- transmit path ---------------------------------------------------------
+
+    def ip_output(self, conn, pkt, tcp_header, payload_len, ctx):
+        """Add TCP/IP/Ethernet headers and queue the packet for the NIC."""
+        self.costs.charge_tcp_tx(ctx)
+        nic = self.host.nic
+        ip_header = IPv4Header(
+            conn.local_ip, conn.remote_ip, IPPROTO_TCP,
+            total_len=IPV4_HEADER_LEN + TCP_HEADER_LEN + payload_len,
+        )
+        if nic.features.tx_csum_offload:
+            tcp_header.checksum = 0  # NIC fills it in on the wire
+        else:
+            payload = pkt.to_wire()
+            tcp_header.compute_checksum(ip_header, payload)
+            self.costs.charge_sw_checksum(ctx, TCP_HEADER_LEN + len(payload))
+        pkt.push(tcp_header.pack())
+        pkt.push(ip_header.pack())
+        self.costs.charge_ip_tx(ctx)
+        eth = EthernetHeader(
+            dst=_mac_for_ip(conn.remote_ip), src=_mac_for_ip(conn.local_ip),
+            ethertype=ETHERTYPE_IPV4,
+        )
+        pkt.push(eth.pack())
+        self.costs.charge_driver_tx(ctx)
+        pkt.tstamp = self.sim.now
+        pkt.tcp = tcp_header
+        pkt.ip = ip_header
+        self.stats["tx_packets"] += 1
+        self._pending_tx.append((pkt, conn.remote_ip))
+
+    def drain_tx(self):
+        """Take the packets produced during the current processing slice."""
+        out = self._pending_tx
+        self._pending_tx = []
+        return out
+
+    # -- receive path -----------------------------------------------------------
+
+    def rx(self, pkt, ctx):
+        """Full receive processing of one frame (run-to-completion)."""
+        self.stats["rx_packets"] += 1
+        self.costs.charge_driver_rx(ctx)
+        if pkt.data_len < ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN:
+            pkt.release()
+            return
+        eth = EthernetHeader.unpack(pkt.linear_bytes())
+        if eth.ethertype != ETHERTYPE_IPV4:
+            pkt.release()
+            return
+        pkt.l2_off = pkt.data_off
+        pkt.pull(ETH_HEADER_LEN)
+        self.costs.charge_ip_rx(ctx)
+        raw_ip = pkt.payload_slice(0, IPV4_HEADER_LEN)
+        ip_header = IPv4Header.unpack(raw_ip)
+        if not ip_header.verify_checksum(raw_ip) or ip_header.proto != IPPROTO_TCP:
+            pkt.release()
+            return
+        # Trim Ethernet padding before checksum/payload accounting.
+        if pkt.data_len > ip_header.total_len:
+            pkt.trim(ip_header.total_len)
+        pkt.l3_off = pkt.data_off
+        pkt.pull(IPV4_HEADER_LEN)
+        tcp_header = TCPHeader.unpack(pkt.payload_slice(0, TCP_HEADER_LEN))
+        # Integrity: hardware-verified if the NIC offload did it, software
+        # otherwise.  Bad checksums are dropped here, exactly like a real
+        # stack, and show up as retransmissions.
+        if pkt.csum_verified:
+            csum_ok = True
+        elif pkt.wire_csum is not None and not pkt.csum_verified and \
+                self.host.nic.features.rx_csum_offload:
+            csum_ok = False
+        else:
+            payload_all = pkt.linear_bytes()
+            csum_ok = tcp_header.verify_checksum(ip_header, payload_all[TCP_HEADER_LEN:])
+            self.costs.charge_sw_checksum(ctx, len(payload_all))
+        if not csum_ok:
+            self.stats["rx_bad_csum"] += 1
+            pkt.release()
+            return
+        pkt.l4_off = pkt.data_off
+        pkt.pull(TCP_HEADER_LEN)
+        pkt.ip = ip_header
+        pkt.tcp = tcp_header
+        payload_len = ip_header.total_len - IPV4_HEADER_LEN - TCP_HEADER_LEN
+        self.costs.charge_tcp_rx(ctx)
+        if self._taps:
+            self._run_taps(pkt, ctx)
+        self._demux(pkt, ip_header, tcp_header, payload_len, ctx)
+
+    def _demux(self, pkt, ip_header, tcp_header, payload_len, ctx):
+        key = (ip_header.dst, tcp_header.dst_port, ip_header.src, tcp_header.src_port)
+        conn = self._connections.get(key)
+        if conn is not None:
+            conn.input(pkt, tcp_header, 0, payload_len, ctx)
+            pkt.release()
+            return
+        if tcp_header.flags & SYN and not (tcp_header.flags & ACK):
+            on_accept = self._listeners.get(tcp_header.dst_port)
+            if on_accept is not None:
+                self._accept(pkt, ip_header, tcp_header, on_accept, ctx)
+                pkt.release()
+                return
+        self.stats["rx_no_socket"] += 1
+        if not tcp_header.flags & RST:
+            self._send_rst(ip_header, tcp_header, payload_len, ctx)
+        pkt.release()
+
+    def _accept(self, pkt, ip_header, tcp_header, on_accept, ctx):
+        core = self.host.cpus.assign()
+        conn = TcpConnection(
+            self, ip_header.dst, tcp_header.dst_port,
+            ip_header.src, tcp_header.src_port, core, self._next_iss(),
+        )
+        self._apply_gso(conn)
+        self._connections[conn.tuple4] = conn
+        sock = Socket(self, conn)
+        sock.on_established = lambda s, c: on_accept(s, c)
+        conn.accept_syn(tcp_header, ctx)
+
+    def _send_rst(self, ip_header, tcp_header, payload_len, ctx):
+        """Refuse a segment aimed at nothing (stateless RST)."""
+        from repro.net.pktbuf import PktBuf
+
+        self.stats["rst_sent"] += 1
+        pkt = PktBuf.alloc(self.tx_pool, headroom=self.tx_headroom)
+        rst = TCPHeader(
+            tcp_header.dst_port, tcp_header.src_port,
+            seq=tcp_header.ack, ack=tcp_header.seq + payload_len + 1,
+            flags=RST | ACK, window=0,
+        )
+        reply_ip = IPv4Header(
+            ip_header.dst, ip_header.src, IPPROTO_TCP,
+            total_len=IPV4_HEADER_LEN + TCP_HEADER_LEN,
+        )
+        if not self.host.nic.features.tx_csum_offload:
+            rst.compute_checksum(reply_ip, b"")
+        pkt.push(rst.pack())
+        pkt.push(reply_ip.pack())
+        eth = EthernetHeader(
+            dst=_mac_for_ip(ip_header.src), src=_mac_for_ip(ip_header.dst),
+        )
+        pkt.push(eth.pack())
+        self._pending_tx.append((pkt, ip_header.src))
+
+    def core_for_packet(self, pkt):
+        """RSS: an existing connection's packets go to its core."""
+        if pkt.data_len < ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN:
+            return self.host.cpus[0]
+        raw = pkt.linear_bytes()
+        ip_header = IPv4Header.unpack(raw[ETH_HEADER_LEN:])
+        tcp_header = TCPHeader.unpack(raw[ETH_HEADER_LEN + IPV4_HEADER_LEN:])
+        key = (ip_header.dst, tcp_header.dst_port, ip_header.src, tcp_header.src_port)
+        conn = self._connections.get(key)
+        if conn is not None:
+            return conn.core
+        return self.host.cpus[0]
+
+
+class Host:
+    """A machine: cores + NIC + stack + memory, on the simulated fabric."""
+
+    def __init__(self, sim, name, ip, fabric, costs, cores=1,
+                 rx_pool_region=None, pool_slots=8192, slot_size=2048,
+                 busy_poll=True, irq_latency_ns=2000.0, nic_features=None):
+        self.sim = sim
+        self.name = name
+        self.ip = ip_to_int(ip)
+        self.costs = costs
+        self.cpus = CpuSet(cores)
+        self.busy_poll = busy_poll
+        self.irq_latency_ns = irq_latency_ns
+        self._completion_hooks = []
+        #: Aggregate of every processing slice's charges (the Table 1
+        #: harness divides this by the request count for per-request rows).
+        self.accounting = ExecutionContext()
+
+        # Packet memory: tx always DRAM; rx DRAM unless a PM region is
+        # supplied (PASTE mode).
+        pool_bytes = pool_slots * slot_size
+        self.pool_dram = DRAMDevice(2 * pool_bytes, name=f"{name}.pktmem")
+        self.tx_pool = BufferPool(
+            self.pool_dram.region(0, pool_bytes, f"{name}.txpool"),
+            slot_size, name=f"{name}.txpool",
+        )
+        if rx_pool_region is not None:
+            self.rx_pool = BufferPool(rx_pool_region, slot_size, name=f"{name}.rxpool(pm)")
+        else:
+            self.rx_pool = BufferPool(
+                self.pool_dram.region(pool_bytes, pool_bytes, f"{name}.rxpool"),
+                slot_size, name=f"{name}.rxpool",
+            )
+
+        from repro.net.nic import Nic
+
+        self.nic = Nic(self, self.ip, self.rx_pool, features=nic_features)
+        self.nic.attach(fabric)
+        self.stack = NetworkStack(self, costs, self.tx_pool)
+        #: Optional Homa-like message transport (created by enable_homa).
+        self.homa = None
+
+    @property
+    def paste_mode(self):
+        """True when rx packet buffers live in persistent memory."""
+        return self.rx_pool.persistent
+
+    def enable_homa(self):
+        """Attach the Homa-like transport alongside TCP (§5.2)."""
+        if self.homa is None:
+            from repro.net.homa import HomaTransport
+
+            self.homa = HomaTransport(self, self.costs, self.tx_pool)
+        return self.homa
+
+    # -- execution discipline ------------------------------------------------
+
+    def _transport_for(self, pkt):
+        """Demux by IP protocol: Homa packets bypass the TCP stack."""
+        if self.homa is not None and pkt.data_len > ETH_HEADER_LEN + 9:
+            proto = pkt.payload_slice(ETH_HEADER_LEN + 9, 1)[0]
+            if proto == 0xFD:
+                return self.homa
+        return self.stack
+
+    def on_nic_rx(self, nic, pkt):
+        """NIC handed us a packet (fires at arrival + NIC latency)."""
+        transport = self._transport_for(pkt)
+        core = transport.core_for_packet(pkt)
+        start = self.sim.now if self.busy_poll else self.sim.now + self.irq_latency_ns
+        self.process_on_core(core, lambda ctx: transport.rx(pkt, ctx), start=start)
+
+    def process_on_core(self, core, fn, start=None):
+        """Run ``fn(ctx)`` run-to-completion on ``core``.
+
+        The function's charged cost occupies the core; packets it queued
+        and completion hooks it registered take effect when the core
+        finishes the slice.  Returns the completion time.
+        """
+        ctx = ExecutionContext()
+        hooks_before = len(self._completion_hooks)
+        fn(ctx)
+        self.accounting.merge(ctx)
+        out_packets = self.stack.drain_tx()
+        if self.homa is not None:
+            out_packets.extend(self.homa.drain_tx())
+        hooks = self._completion_hooks[hooks_before:]
+        del self._completion_hooks[hooks_before:]
+        t_end = core.execute(start if start is not None else self.sim.now, ctx.elapsed)
+        for pkt, dst_ip in out_packets:
+            self.sim.at(t_end, self.nic.transmit, pkt, dst_ip)
+        for hook in hooks:
+            self.sim.at(t_end, hook, t_end, ctx)
+        return t_end
+
+    def call_at_completion(self, hook):
+        """Register ``hook(t_end, ctx)`` to fire when this slice completes.
+
+        Only valid while inside :meth:`process_on_core` (e.g. from an
+        application callback): this is how a closed-loop client knows
+        the true end-to-end completion time of a response.
+        """
+        self._completion_hooks.append(hook)
+
+    def __repr__(self):
+        mode = "PASTE" if self.paste_mode else "kernel"
+        return f"<Host {self.name} {mode} cores={len(self.cpus)}>"

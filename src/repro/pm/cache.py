@@ -1,0 +1,99 @@
+"""Cache-line flush bookkeeping for persistent memory.
+
+On real hardware, a store to PM lands in the CPU cache; it becomes
+durable only once its cache line is written back (``clwb`` /
+``clflushopt`` / ``clflush``) *and* a store fence orders the write-back
+into the persistence domain.  A crash loses every dirty line, and lines
+that were written back but not yet fenced are in limbo: the write-back
+may or may not have drained.
+
+:class:`FlushTracker` models exactly that, at cache-line granularity:
+
+- ``dirty``   — stored to, not written back.  Lost on crash.
+- ``pending`` — written back (snapshot taken at clwb time), not fenced.
+  On crash each pending line persists independently with a caller-
+  supplied probability (hardware write-pending-queue drain is not
+  ordered), which is what makes torn updates reproducible in tests.
+- fenced      — copied into the device's persistent image.
+"""
+
+from repro.pm.constants import CACHE_LINE
+
+
+class FlushTracker:
+    """Tracks dirty and pending (written-back, unfenced) cache lines."""
+
+    def __init__(self, line_size=CACHE_LINE):
+        self.line_size = line_size
+        #: Line indices stored to since their last write-back.
+        self.dirty = set()
+        #: line index -> bytes snapshot taken when the line was written back.
+        self.pending = {}
+        # Statistics, used by benchmarks and tests.
+        self.stores = 0
+        self.flushes = 0
+        self.fences = 0
+
+    def lines_for(self, offset, length):
+        """Range of line indices covering [offset, offset+length)."""
+        if length <= 0:
+            return range(0)
+        first = offset // self.line_size
+        last = (offset + length - 1) // self.line_size
+        return range(first, last + 1)
+
+    def mark_store(self, offset, length):
+        """Record a store: its lines become dirty."""
+        self.stores += 1
+        for line in self.lines_for(offset, length):
+            self.dirty.add(line)
+            # A new store to a line that was pending re-dirties it: the
+            # earlier write-back snapshot still stands, but the newest
+            # bytes need another clwb.
+        return len(self.lines_for(offset, length))
+
+    def writeback(self, offset, length, data):
+        """clwb: snapshot the current bytes of each covered dirty line.
+
+        Lines that are not dirty are skipped (clwb of a clean line is a
+        no-op for durability).  Returns the number of lines written back,
+        which the device uses to charge flush cost.
+        """
+        self.flushes += 1
+        written = 0
+        for line in self.lines_for(offset, length):
+            if line not in self.dirty:
+                continue
+            start = line * self.line_size
+            self.pending[line] = bytes(data[start:start + self.line_size])
+            self.dirty.discard(line)
+            written += 1
+        return written
+
+    def fence(self, persistent_image):
+        """sfence: drain every pending line into the persistent image."""
+        self.fences += 1
+        drained = len(self.pending)
+        for line, snapshot in self.pending.items():
+            start = line * self.line_size
+            persistent_image[start:start + len(snapshot)] = snapshot
+        self.pending.clear()
+        return drained
+
+    def crash(self, persistent_image, rng=None, pending_persist_prob=0.5):
+        """Power loss: dirty lines are gone; pending lines may drain.
+
+        With no ``rng``, pending lines are dropped (the conservative
+        outcome a correct recovery procedure must tolerate anyway).
+        """
+        if rng is not None:
+            for line, snapshot in self.pending.items():
+                if rng.random() < pending_persist_prob:
+                    start = line * self.line_size
+                    persistent_image[start:start + len(snapshot)] = snapshot
+        self.dirty.clear()
+        self.pending.clear()
+
+    def dirty_byte_estimate(self):
+        """Upper bound on unflushed bytes (line-granular)."""
+        return (len(self.dirty) + len(self.pending)) * self.line_size

@@ -1,0 +1,26 @@
+"""Shared persistent-memory constants.
+
+Latency figures follow the paper (§5.1), which cites Izraelevitz et
+al.'s Optane DCPMM measurements: 346 ns PM access vs 70 ns DRAM.
+Flush-path costs are calibrated so that flushing a 1 KB value plus its
+store metadata (~18 cache lines) costs ≈ 1.94 µs, matching Table 1's
+persistence row.
+"""
+
+#: Cache line size in bytes (x86).
+CACHE_LINE = 64
+
+#: Media access latency of persistent memory, ns (paper §5.1).
+PM_ACCESS_NS = 346.0
+
+#: Media access latency of DRAM, ns (paper §5.1).
+DRAM_ACCESS_NS = 70.0
+
+#: Cost of one clwb write-back of a dirty line, ns.  A NoveLSM 1 KB put
+#: flushes ~20 node lines plus three small metadata ranges (level-0
+#: link, allocator header, heap frontier), each with its own fence;
+#: these constants make that sum ≈ 1.94 µs, Table 1's persistence row.
+FLUSH_LINE_NS = 70.0
+
+#: Cost of one sfence that drains outstanding write-backs, ns.
+FENCE_NS = 75.0

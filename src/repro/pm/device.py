@@ -1,0 +1,225 @@
+"""Byte-addressable memory devices.
+
+:class:`MemoryDevice` is the common surface: a flat byte array with
+``read``/``write`` plus explicit access-cost charging.  Two concrete
+kinds exist:
+
+- :class:`DRAMDevice` — volatile.  Contents vanish on crash.  Flush and
+  fence are no-ops (there is nothing to persist into).
+- :class:`PMDevice` — persistent.  Keeps a second byte image (what has
+  actually reached the persistence domain) and a
+  :class:`~repro.pm.cache.FlushTracker`; ``crash()`` reverts the
+  CPU-visible view to the persistent image.
+
+Cost-charging convention: ``read``/``write`` do **not** implicitly
+charge time, because bulk data movement (copies, checksums) is priced
+by the cost model of the actor doing it and would otherwise be charged
+twice.  Pointer-chasing structure code (skip lists, tree walks) calls
+:meth:`MemoryDevice.charge_access` per node visit instead — that is
+where the PM-vs-DRAM 346/70 ns gap enters the results.
+"""
+
+from repro.pm.cache import FlushTracker
+from repro.pm.constants import (
+    CACHE_LINE,
+    DRAM_ACCESS_NS,
+    FENCE_NS,
+    FLUSH_LINE_NS,
+    PM_ACCESS_NS,
+)
+from repro.sim.context import NULL_CONTEXT
+
+
+class MemoryDevice:
+    """Flat byte-addressable memory with a modeled access latency."""
+
+    persistent = False
+
+    def __init__(self, size, access_ns, name="mem"):
+        if size <= 0:
+            raise ValueError("device size must be positive")
+        self.size = size
+        self.access_ns = access_ns
+        self.name = name
+        self.data = bytearray(size)
+
+    def _check(self, offset, length):
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise IndexError(
+                f"{self.name}: access [{offset}, {offset + length}) outside device of {self.size} bytes"
+            )
+
+    def read(self, offset, length):
+        """Return ``length`` bytes at ``offset`` (CPU-visible view)."""
+        self._check(offset, length)
+        return bytes(self.data[offset:offset + length])
+
+    def write(self, offset, payload):
+        """Store ``payload`` at ``offset`` in the CPU-visible view."""
+        length = len(payload)
+        self._check(offset, length)
+        self.data[offset:offset + length] = payload
+        return length
+
+    def charge_access(self, ctx, count=1, category="mem.access"):
+        """Charge ``count`` dependent (cache-missing) accesses to this device."""
+        return ctx.charge(count * self.access_ns, category)
+
+    # Persistence interface: no-ops on volatile devices so callers can be
+    # written once and run against either kind.
+    def flush(self, offset, length, ctx=NULL_CONTEXT, category="pm.flush"):
+        return 0
+
+    def fence(self, ctx=NULL_CONTEXT, category="pm.flush"):
+        return 0
+
+    def persist(self, offset, length, ctx=NULL_CONTEXT, category="pm.flush"):
+        """flush + fence in one call."""
+        lines = self.flush(offset, length, ctx, category)
+        self.fence(ctx, category)
+        return lines
+
+    def crash(self, rng=None):
+        """Power loss.  Volatile contents are zeroed."""
+        self.data = bytearray(self.size)
+
+    def region(self, base, size, name=None):
+        """Carve a window [base, base+size) as a :class:`Region`."""
+        self._check(base, size)
+        return Region(self, base, size, name or f"{self.name}+{base}")
+
+    def __repr__(self):
+        kind = "PM" if self.persistent else "DRAM"
+        return f"<{kind} {self.name} {self.size}B>"
+
+
+class DRAMDevice(MemoryDevice):
+    """Volatile memory: fast, forgets everything on crash."""
+
+    def __init__(self, size, access_ns=DRAM_ACCESS_NS, name="dram"):
+        super().__init__(size, access_ns, name)
+
+
+class PMDevice(MemoryDevice):
+    """Persistent memory with explicit write-back/fence durability."""
+
+    persistent = True
+
+    def __init__(
+        self,
+        size,
+        access_ns=PM_ACCESS_NS,
+        flush_line_ns=FLUSH_LINE_NS,
+        fence_ns=FENCE_NS,
+        name="pmem",
+    ):
+        super().__init__(size, access_ns, name)
+        self.flush_line_ns = flush_line_ns
+        self.fence_ns = fence_ns
+        #: Bytes that have actually reached the persistence domain.
+        self.persisted = bytearray(size)
+        self.tracker = FlushTracker()
+        self.crashes = 0
+
+    def write(self, offset, payload):
+        written = super().write(offset, payload)
+        self.tracker.mark_store(offset, written)
+        return written
+
+    def flush(self, offset, length, ctx=NULL_CONTEXT, category="pm.flush"):
+        """clwb the covered lines; charges per dirty line written back."""
+        self._check(offset, length)
+        lines = self.tracker.writeback(offset, length, self.data)
+        if lines:
+            ctx.charge(lines * self.flush_line_ns, category)
+        return lines
+
+    def fence(self, ctx=NULL_CONTEXT, category="pm.flush"):
+        """sfence: drain pending write-backs into the persistent image."""
+        drained = self.tracker.fence(self.persisted)
+        ctx.charge(self.fence_ns, category)
+        return drained
+
+    def crash(self, rng=None, pending_persist_prob=0.5):
+        """Power loss: CPU-visible view reverts to what was persisted.
+
+        Pending (written-back, unfenced) lines drain probabilistically
+        when an ``rng`` is supplied; see
+        :meth:`repro.pm.cache.FlushTracker.crash`.
+        """
+        self.crashes += 1
+        self.tracker.crash(self.persisted, rng, pending_persist_prob)
+        self.data = bytearray(self.persisted)
+
+    def persisted_view(self, offset, length):
+        """Read from the persistent image (what recovery would see)."""
+        self._check(offset, length)
+        return bytes(self.persisted[offset:offset + length])
+
+    def is_durable(self, offset, length):
+        """True if every byte in the range matches its persisted image."""
+        self._check(offset, length)
+        return self.data[offset:offset + length] == self.persisted[offset:offset + length]
+
+
+class Region:
+    """A named window into a device, with device-relative addressing.
+
+    Regions are how the rest of the system holds memory: a PM-backed
+    "file" is a region, a packet-buffer pool is a region, an allocator
+    arena is a region.  All offsets passed to a region are local.
+    """
+
+    __slots__ = ("device", "base", "size", "name")
+
+    def __init__(self, device, base, size, name):
+        self.device = device
+        self.base = base
+        self.size = size
+        self.name = name
+
+    @property
+    def persistent(self):
+        return self.device.persistent
+
+    def _check(self, offset, length):
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise IndexError(
+                f"region {self.name}: access [{offset}, {offset + length}) outside {self.size} bytes"
+            )
+
+    def read(self, offset, length):
+        self._check(offset, length)
+        return self.device.read(self.base + offset, length)
+
+    def write(self, offset, payload):
+        self._check(offset, len(payload))
+        return self.device.write(self.base + offset, payload)
+
+    def flush(self, offset, length, ctx=NULL_CONTEXT, category="pm.flush"):
+        self._check(offset, length)
+        return self.device.flush(self.base + offset, length, ctx, category)
+
+    def fence(self, ctx=NULL_CONTEXT, category="pm.flush"):
+        return self.device.fence(ctx, category)
+
+    def persist(self, offset, length, ctx=NULL_CONTEXT, category="pm.flush"):
+        lines = self.flush(offset, length, ctx, category)
+        self.fence(ctx, category)
+        return lines
+
+    def charge_access(self, ctx, count=1, category="mem.access"):
+        return self.device.charge_access(ctx, count, category)
+
+    def subregion(self, offset, size, name=None):
+        self._check(offset, size)
+        return Region(self.device, self.base + offset, size, name or f"{self.name}+{offset}")
+
+    def global_offset(self, offset):
+        """Translate a region-local offset to a device offset."""
+        self._check(offset, 0)
+        return self.base + offset
+
+    def __repr__(self):
+        kind = "PM" if self.persistent else "DRAM"
+        return f"<Region {self.name} [{self.base}, {self.base + self.size}) {kind}>"

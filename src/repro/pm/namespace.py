@@ -1,0 +1,129 @@
+"""DAX-style namespace: named persistent regions.
+
+The paper's stacks map PM-backed files into their address space via the
+DAX subsystem (Figure 1) — a name is how persisted data is found again
+after a reboot.  :class:`PMNamespace` provides that: named regions
+carved out of a :class:`~repro.pm.device.PMDevice`, with the directory
+itself persisted at the front of the device so that
+:meth:`PMNamespace.reopen` can enumerate regions after a crash.
+
+Directory layout (at device offset 0)::
+
+    [magic(4)][entry_count(4)][next_base(8)]
+    entry := [name_len(2)][name(utf-8)][base(8)][size(8)]
+"""
+
+import struct
+
+from repro.pm.constants import CACHE_LINE
+from repro.sim.context import NULL_CONTEXT
+
+DIR_MAGIC = 0xDA0F11E5
+DIR_HEADER = struct.Struct("<IIQ")
+DIR_SIZE = 4096
+
+
+class NamespaceError(RuntimeError):
+    """Raised on namespace misuse (duplicate/unknown names, exhaustion)."""
+
+
+def _round_up(value, align=CACHE_LINE):
+    return (value + align - 1) // align * align
+
+
+class PMNamespace:
+    """Named, persistent, crash-recoverable region directory."""
+
+    def __init__(self, device):
+        if not device.persistent:
+            raise NamespaceError("PMNamespace requires a persistent device")
+        if device.size <= DIR_SIZE:
+            raise NamespaceError("device too small for a namespace directory")
+        self.device = device
+        self._entries = {}
+        self._next_base = DIR_SIZE
+        self._write_directory(NULL_CONTEXT)
+
+    @classmethod
+    def reopen(cls, device):
+        """Rebuild a namespace from the device's persisted directory.
+
+        Use after ``device.crash()`` — this reads the persistent image,
+        not the (now reset) CPU-visible view.
+        """
+        ns = cls.__new__(cls)
+        ns.device = device
+        ns._entries = {}
+        raw = device.persisted_view(0, DIR_SIZE)
+        magic, count, next_base = DIR_HEADER.unpack_from(raw, 0)
+        if magic != DIR_MAGIC:
+            raise NamespaceError("no persisted namespace directory found")
+        ns._next_base = next_base
+        cursor = DIR_HEADER.size
+        for _ in range(count):
+            (name_len,) = struct.unpack_from("<H", raw, cursor)
+            cursor += 2
+            name = raw[cursor:cursor + name_len].decode("utf-8")
+            cursor += name_len
+            base, size = struct.unpack_from("<QQ", raw, cursor)
+            cursor += 16
+            ns._entries[name] = (base, size)
+        return ns
+
+    def _write_directory(self, ctx):
+        parts = [DIR_HEADER.pack(DIR_MAGIC, len(self._entries), self._next_base)]
+        for name, (base, size) in self._entries.items():
+            encoded = name.encode("utf-8")
+            parts.append(struct.pack("<H", len(encoded)))
+            parts.append(encoded)
+            parts.append(struct.pack("<QQ", base, size))
+        blob = b"".join(parts)
+        if len(blob) > DIR_SIZE:
+            raise NamespaceError("namespace directory full")
+        self.device.write(0, blob)
+        self.device.persist(0, len(blob), ctx)
+
+    def create(self, name, size, ctx=NULL_CONTEXT):
+        """Create a named region of ``size`` bytes; returns the Region."""
+        if name in self._entries:
+            raise NamespaceError(f"region {name!r} already exists")
+        size = _round_up(size)
+        base = _round_up(self._next_base)
+        if base + size > self.device.size:
+            raise NamespaceError(
+                f"device exhausted: need {size} bytes at {base}, "
+                f"device holds {self.device.size}"
+            )
+        self._entries[name] = (base, size)
+        self._next_base = base + size
+        self._write_directory(ctx)
+        return self.device.region(base, size, name)
+
+    def open(self, name):
+        """Open an existing named region."""
+        if name not in self._entries:
+            raise NamespaceError(f"no region named {name!r}")
+        base, size = self._entries[name]
+        return self.device.region(base, size, name)
+
+    def open_or_create(self, name, size, ctx=NULL_CONTEXT):
+        if name in self._entries:
+            return self.open(name)
+        return self.create(name, size, ctx)
+
+    def exists(self, name):
+        return name in self._entries
+
+    def names(self):
+        return sorted(self._entries)
+
+    def remove(self, name, ctx=NULL_CONTEXT):
+        """Drop a region from the directory.  Space is not reclaimed
+        (regions are append-allocated, like DAX file extents)."""
+        if name not in self._entries:
+            raise NamespaceError(f"no region named {name!r}")
+        del self._entries[name]
+        self._write_directory(ctx)
+
+    def __repr__(self):
+        return f"<PMNamespace {len(self._entries)} regions on {self.device.name}>"

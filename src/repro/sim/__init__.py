@@ -1,0 +1,29 @@
+"""Discrete-event simulation engine.
+
+Everything in this reproduction runs on a simulated clock measured in
+*nanoseconds*.  The engine is deliberately small: a time-ordered event
+queue (:class:`Simulator`), a CPU core abstraction that serialises work
+(:class:`~repro.sim.cpu.Core`), and an execution context that
+accumulates charged CPU cost during run-to-completion processing
+(:class:`~repro.sim.context.ExecutionContext`).
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.context import ExecutionContext, NULL_CONTEXT, NullContext
+from repro.sim.cpu import Core, CpuSet
+from repro.sim.units import MICROS, MILLIS, SECONDS, ns_to_us, us
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "ExecutionContext",
+    "NullContext",
+    "NULL_CONTEXT",
+    "Core",
+    "CpuSet",
+    "MICROS",
+    "MILLIS",
+    "SECONDS",
+    "ns_to_us",
+    "us",
+]

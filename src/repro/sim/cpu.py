@@ -1,0 +1,83 @@
+"""CPU core model.
+
+A :class:`Core` serialises work: it remembers when it becomes free, and
+every work item placed on it starts no earlier than that.  This is the
+entire mechanism behind Figure 2's concurrency penalty — the paper's
+server uses one core, so an increased per-request service time delays
+every queued request behind it.
+
+:class:`CpuSet` is a host's collection of cores with a trivial
+round-robin placement policy (the paper's client "uses all the cores
+when multiple TCP connections are used").
+"""
+
+
+class Core:
+    """A single CPU core with run-to-completion semantics."""
+
+    __slots__ = ("index", "free_at", "busy_time", "work_items")
+
+    def __init__(self, index=0):
+        self.index = index
+        #: Simulated time at which the core finishes its last accepted work.
+        self.free_at = 0.0
+        #: Total busy nanoseconds, for utilisation reporting.
+        self.busy_time = 0.0
+        #: Number of work items executed.
+        self.work_items = 0
+
+    def execute(self, now, cost):
+        """Place ``cost`` ns of work on this core at time ``now``.
+
+        Returns the completion time.  Work queues behind whatever the
+        core already accepted: it starts at ``max(now, free_at)``.
+        """
+        if cost < 0:
+            raise ValueError(f"negative cost: {cost}")
+        start = now if now > self.free_at else self.free_at
+        end = start + cost
+        self.free_at = end
+        self.busy_time += cost
+        self.work_items += 1
+        return end
+
+    def queue_delay(self, now):
+        """How long new work arriving at ``now`` would wait before starting."""
+        return max(0.0, self.free_at - now)
+
+    def utilisation(self, elapsed):
+        """Fraction of ``elapsed`` ns this core spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def __repr__(self):
+        return f"<Core {self.index} free_at={self.free_at:.0f} busy={self.busy_time:.0f}>"
+
+
+class CpuSet:
+    """A host's cores, with round-robin assignment for new connections."""
+
+    def __init__(self, count):
+        if count < 1:
+            raise ValueError("a host needs at least one core")
+        self.cores = [Core(i) for i in range(count)]
+        self._next = 0
+
+    def __len__(self):
+        return len(self.cores)
+
+    def __getitem__(self, index):
+        return self.cores[index]
+
+    def assign(self):
+        """Round-robin pick, as the kernel would spread connections over cores."""
+        core = self.cores[self._next % len(self.cores)]
+        self._next += 1
+        return core
+
+    def total_busy(self):
+        return sum(core.busy_time for core in self.cores)
+
+    def __repr__(self):
+        return f"<CpuSet {len(self.cores)} cores>"

@@ -1,0 +1,139 @@
+"""Time-ordered event queue.
+
+:class:`Simulator` is the single source of truth for simulated time.
+Components schedule callbacks with :meth:`Simulator.schedule` (relative
+delay) or :meth:`Simulator.at` (absolute time); :meth:`Simulator.run`
+drains the queue in timestamp order.
+
+Events fire in (time, insertion-order) order, so two events scheduled
+for the same instant run in the order they were scheduled.  Cancelled
+events stay in the heap but are skipped when popped; this keeps
+cancellation O(1), which matters for TCP retransmission timers that are
+rearmed on every ACK.
+"""
+
+import heapq
+import itertools
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulation engine (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.  Returned by ``schedule``/``at`` so callers can cancel it."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.0f} fn={getattr(self.fn, '__name__', self.fn)}{state}>"
+
+
+class Simulator:
+    """Discrete-event loop with a nanosecond clock."""
+
+    def __init__(self):
+        self._queue = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self._events_fired = 0
+        self._running = False
+
+    def schedule(self, delay, fn, *args):
+        """Schedule ``fn(*args)`` to run ``delay`` ns from now.
+
+        Returns the :class:`Event`, which can be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        return self.at(self.now + delay, fn, *args)
+
+    def at(self, time, fn, *args):
+        """Schedule ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def pending(self):
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def events_fired(self):
+        """Total number of events that have executed."""
+        return self._events_fired
+
+    def step(self):
+        """Run the single next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_fired += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until=None, max_events=None):
+        """Drain the event queue.
+
+        Args:
+            until: stop once simulated time would exceed this (the clock
+                is advanced to ``until`` even if the queue empties first).
+            max_events: safety valve against runaway event storms.
+
+        Returns the number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self.now = event.time
+                self._events_fired += 1
+                event.fn(*event.args)
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return fired
+
+    def run_until_idle(self, max_events=10_000_000):
+        """Run until no events remain.  Guards against infinite event loops."""
+        fired = self.run(max_events=max_events)
+        if self._queue and fired >= max_events:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events"
+            )
+        return fired

@@ -1,0 +1,26 @@
+"""Time-unit helpers.
+
+The simulated clock counts nanoseconds as floats.  These constants and
+converters keep call sites readable (``3 * MICROS`` instead of a bare
+``3000.0``) and centralise the convention so it cannot drift between
+modules.
+"""
+
+#: One microsecond, in simulator time units (nanoseconds).
+MICROS = 1_000.0
+
+#: One millisecond, in simulator time units.
+MILLIS = 1_000_000.0
+
+#: One second, in simulator time units.
+SECONDS = 1_000_000_000.0
+
+
+def us(value):
+    """Convert microseconds to simulator time units (nanoseconds)."""
+    return value * MICROS
+
+
+def ns_to_us(value):
+    """Convert simulator time units (nanoseconds) to microseconds."""
+    return value / MICROS

@@ -1,0 +1,50 @@
+"""Storage substrate: the LSM key-value stores the paper measures.
+
+From bottom to top:
+
+- :mod:`repro.storage.blockdev` — a block device (SSD-like latency,
+  volatile write cache, sync) for the disk-era pieces: WAL and SSTables.
+- :mod:`repro.storage.bloom` — Bloom filters for SSTable lookups.
+- :mod:`repro.storage.skiplist` — a byte-level skip list living inside
+  a memory region.  Over DRAM it is LevelDB's memtable; over PM with
+  crash-consistent linking it is NoveLSM's persistent memtable.
+- :mod:`repro.storage.wal` — write-ahead log with per-record CRCs.
+- :mod:`repro.storage.sstable` — sorted-string tables: data blocks,
+  index, Bloom filter, checksummed footer.
+- :mod:`repro.storage.lsm` — the LSM store (memtable rotation, level
+  compaction, read path across levels) with LevelDB and NoveLSM
+  configurations.
+- :mod:`repro.storage.engines` — the server-side storage engines the
+  benchmarks compare: null (networking-only), raw-PM copy+persist, and
+  NoveLSM with the full Table 1 cost structure.
+- :mod:`repro.storage.kvserver` — the networked HTTP KV server.
+"""
+
+from repro.storage.blockdev import BlockDevice
+from repro.storage.bloom import BloomFilter
+from repro.storage.skiplist import RegionSkipList
+from repro.storage.wal import WriteAheadLog
+from repro.storage.sstable import SSTable, SSTableBuilder
+from repro.storage.lsm import LSMStore, leveldb_store, novelsm_store
+from repro.storage.engines import (
+    NoveLSMEngine,
+    NullEngine,
+    RawPMEngine,
+)
+from repro.storage.kvserver import KVServer
+
+__all__ = [
+    "BlockDevice",
+    "BloomFilter",
+    "RegionSkipList",
+    "WriteAheadLog",
+    "SSTable",
+    "SSTableBuilder",
+    "LSMStore",
+    "leveldb_store",
+    "novelsm_store",
+    "NullEngine",
+    "RawPMEngine",
+    "NoveLSMEngine",
+    "KVServer",
+]

@@ -1,0 +1,92 @@
+"""Block device model (the disks of §2.1).
+
+LevelDB was designed for spinning and solid-state disks: its WAL and
+SSTables live on a block device and reach durability through ``*sync``
+calls.  This model captures what matters for the comparison with PM:
+
+- block-granular access with per-op latency charged to the caller,
+- a volatile write cache: writes are not durable until :meth:`sync`,
+- crash drops every unsynced write.
+
+Defaults approximate a datacenter NVMe SSD.
+"""
+
+from repro.sim.context import NULL_CONTEXT
+
+BLOCK_SIZE = 4096
+
+
+class BlockDevice:
+    """A byte array addressed in blocks, with a volatile write cache."""
+
+    def __init__(self, size, read_ns=70_000.0, write_ns=15_000.0,
+                 sync_ns=25_000.0, block_size=BLOCK_SIZE, name="ssd"):
+        if size <= 0 or size % block_size:
+            raise ValueError("device size must be a positive multiple of the block size")
+        self.size = size
+        self.block_size = block_size
+        self.read_ns = read_ns
+        self.write_ns = write_ns
+        self.sync_ns = sync_ns
+        self.name = name
+        self.data = bytearray(size)
+        self.durable = bytearray(size)
+        #: Block indices written since the last sync.
+        self._unsynced = set()
+        self.reads = 0
+        self.writes = 0
+        self.syncs = 0
+
+    def _check(self, offset, length):
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise IndexError(
+                f"{self.name}: access [{offset}, {offset + length}) outside {self.size}B"
+            )
+
+    def _blocks(self, offset, length):
+        if length == 0:
+            return range(0)
+        return range(offset // self.block_size, (offset + length - 1) // self.block_size + 1)
+
+    def nblocks(self, offset, length):
+        return len(self._blocks(offset, length))
+
+    def read(self, offset, length, ctx=NULL_CONTEXT, category="blockdev.read"):
+        """Read bytes; charges one device read per covered block."""
+        self._check(offset, length)
+        self.reads += 1
+        ctx.charge(self.nblocks(offset, length) * self.read_ns, category)
+        return bytes(self.data[offset:offset + length])
+
+    def write(self, offset, payload, ctx=NULL_CONTEXT, category="blockdev.write"):
+        """Write bytes into the device cache; durable only after sync."""
+        length = len(payload)
+        self._check(offset, length)
+        self.writes += 1
+        self.data[offset:offset + length] = payload
+        self._unsynced.update(self._blocks(offset, length))
+        ctx.charge(self.nblocks(offset, length) * self.write_ns, category)
+        return length
+
+    def sync(self, ctx=NULL_CONTEXT, category="blockdev.sync"):
+        """Flush the write cache (fsync/fdatasync equivalent)."""
+        self.syncs += 1
+        for block in self._unsynced:
+            start = block * self.block_size
+            self.durable[start:start + self.block_size] = self.data[start:start + self.block_size]
+        drained = len(self._unsynced)
+        self._unsynced.clear()
+        ctx.charge(self.sync_ns, category)
+        return drained
+
+    def crash(self):
+        """Power loss: unsynced writes vanish."""
+        self.data = bytearray(self.durable)
+        self._unsynced.clear()
+
+    def durable_view(self, offset, length):
+        self._check(offset, length)
+        return bytes(self.durable[offset:offset + length])
+
+    def __repr__(self):
+        return f"<BlockDevice {self.name} {self.size}B unsynced={len(self._unsynced)}>"

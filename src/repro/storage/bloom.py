@@ -1,0 +1,87 @@
+"""Bloom filter for SSTable lookups.
+
+LevelDB attaches a Bloom filter to every table so that a ``get`` for an
+absent key usually costs no block read.  Standard double-hashing
+construction (Kirsch-Mitzenmacher) over two independent hashes of the
+key; serialisable so it can live in the SSTable footer.
+"""
+
+import struct
+
+from repro.net.checksum import crc32c
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _fnv1a(data):
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class BloomFilter:
+    """Fixed-size bit array with k derived hash probes."""
+
+    def __init__(self, nbits, nhashes):
+        if nbits <= 0 or nhashes <= 0:
+            raise ValueError("bloom filter needs positive bits and hashes")
+        self.nbits = nbits
+        self.nhashes = nhashes
+        self._bits = bytearray((nbits + 7) // 8)
+        self.added = 0
+
+    @classmethod
+    def for_entries(cls, nentries, bits_per_key=10):
+        """Sized like LevelDB's default (10 bits/key, k≈7)."""
+        nbits = max(64, nentries * bits_per_key)
+        nhashes = max(1, min(30, int(round(bits_per_key * 0.69))))
+        return cls(nbits, nhashes)
+
+    def _probes(self, key):
+        h1 = crc32c(key)
+        h2 = _fnv1a(key) & 0xFFFFFFFF
+        if h2 % self.nbits == 0:
+            h2 += 1
+        for i in range(self.nhashes):
+            yield (h1 + i * h2) % self.nbits
+
+    def add(self, key):
+        for bit in self._probes(key):
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+        self.added += 1
+
+    def might_contain(self, key):
+        """False means definitely absent; True means probably present."""
+        for bit in self._probes(key):
+            if not self._bits[bit >> 3] & (1 << (bit & 7)):
+                return False
+        return True
+
+    def serialize(self):
+        return struct.pack("<IIQ", self.nbits, self.nhashes, self.added) + bytes(self._bits)
+
+    @classmethod
+    def deserialize(cls, blob):
+        if len(blob) < 16:
+            raise ValueError("truncated bloom filter")
+        nbits, nhashes, added = struct.unpack_from("<IIQ", blob, 0)
+        bloom = cls(nbits, nhashes)
+        body = blob[16:16 + len(bloom._bits)]
+        if len(body) != len(bloom._bits):
+            raise ValueError("truncated bloom filter")
+        bloom._bits = bytearray(body)
+        bloom.added = added
+        return bloom
+
+    def false_positive_rate_estimate(self):
+        """Theoretical FP rate for the current fill."""
+        if self.added == 0:
+            return 0.0
+        fill = 1.0 - (1.0 - 1.0 / self.nbits) ** (self.nhashes * self.added)
+        return fill ** self.nhashes
+
+    def __repr__(self):
+        return f"<BloomFilter bits={self.nbits} k={self.nhashes} n={self.added}>"

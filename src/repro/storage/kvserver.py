@@ -1,0 +1,215 @@
+"""The networked key-value server of the paper's §3.
+
+Listens for HTTP over the simulated TCP stack, dispatches PUT/GET/
+DELETE to a pluggable storage engine, and answers — all within the
+run-to-completion processing slice of the receiving core, which is
+what makes storage-stack cost visible as end-to-end latency and
+queueing (Figure 2).
+
+Protocol (what ``wrk`` drives):
+
+- ``PUT /<key>`` with the value as the body → ``200 OK``
+- ``GET /<key>`` → ``200`` with the value, or ``404``
+- ``DELETE /<key>`` → ``200``
+- ``GET /__scan__?start=<k>&end=<k>`` → range query (the "efficient
+  range query support" the paper lists among NoveLSM's storage
+  properties); the body is a length-prefixed binary pair stream,
+  decodable with :func:`decode_scan_body`.
+"""
+
+import struct
+
+from repro.net.http import HttpParser, build_response
+
+
+def encode_scan_body(pairs):
+    """Serialise (key, value) pairs: [u16 klen][u32 vlen][key][value]..."""
+    parts = []
+    for key, value in pairs:
+        parts.append(struct.pack("<HI", len(key), len(value)))
+        parts.append(key)
+        parts.append(value)
+    return b"".join(parts)
+
+
+def decode_scan_body(body):
+    """Inverse of :func:`encode_scan_body`."""
+    pairs = []
+    cursor = 0
+    while cursor < len(body):
+        key_len, value_len = struct.unpack_from("<HI", body, cursor)
+        cursor += 6
+        key = body[cursor:cursor + key_len]
+        cursor += key_len
+        value = body[cursor:cursor + value_len]
+        cursor += value_len
+        pairs.append((key, value))
+    return pairs
+
+
+def _parse_scan_query(path):
+    """start/end bounds out of ``/__scan__?start=a&end=b`` (both optional)."""
+    query = path.split("?", 1)[1] if "?" in path else ""
+    bounds = {"start": None, "end": None}
+    for part in query.split("&"):
+        if "=" in part:
+            name, value = part.split("=", 1)
+            if name in bounds and value:
+                bounds[name] = value.encode("utf-8")
+    return bounds["start"], bounds["end"]
+
+
+class KVServer:
+    """HTTP front-end binding a storage engine to a host's stack.
+
+    With ``zero_copy_get=True`` (and an engine exposing ``get_refs``,
+    i.e. the packet store), GET responses transmit the stored value
+    straight out of persistent memory as TCP frag pages — §4.2's send
+    path: "it can avoid memory deallocation in its own allocator and
+    memory allocation inside the network stack".
+    """
+
+    def __init__(self, host, engine, port=80, zero_copy_get=False):
+        self.host = host
+        self.engine = engine
+        self.port = port
+        self.costs = host.costs
+        self.zero_copy_get = zero_copy_get and hasattr(engine, "store")
+        self.stats = {"puts": 0, "gets": 0, "deletes": 0, "hits": 0,
+                      "misses": 0, "bad_requests": 0, "connections": 0,
+                      "zero_copy_gets": 0}
+        host.stack.listen(port, self._on_accept)
+
+    def _on_accept(self, sock, ctx):
+        self.stats["connections"] += 1
+        parser = HttpParser(is_response=False)
+        sock.on_data = lambda s, segment, c: self._on_data(s, parser, segment, c)
+
+    def _on_data(self, sock, parser, segment, ctx):
+        for message in parser.feed(segment, ctx, self.costs):
+            self._handle(sock, message, ctx)
+
+    def _key_of(self, message):
+        path = message.path or "/"
+        return path.lstrip("/").encode("utf-8")
+
+    def _handle(self, sock, message, ctx):
+        self.costs.charge_app(ctx)
+        key = self._key_of(message)
+        try:
+            if message.method == "GET" and key.startswith(b"__scan__") and \
+                    hasattr(self.engine, "scan"):
+                start, end = _parse_scan_query(message.path)
+                pairs = list(self.engine.scan(start, end, ctx))
+                response = build_response(200, encode_scan_body(pairs))
+            elif message.method == "PUT" and key:
+                self.engine.put(key, message, ctx)
+                self.stats["puts"] += 1
+                response = build_response(200)
+            elif message.method == "GET" and key:
+                self.stats["gets"] += 1
+                if self.zero_copy_get:
+                    self._zero_copy_get(sock, key, ctx)
+                    return  # response already sent from PM extents
+                    # (the finally clause releases the message)
+                value = self.engine.get(key, ctx)
+                if value is None:
+                    self.stats["misses"] += 1
+                    response = build_response(404)
+                else:
+                    self.stats["hits"] += 1
+                    response = build_response(200, value)
+            elif message.method == "DELETE" and key and hasattr(self.engine, "delete"):
+                self.engine.delete(key, ctx)
+                self.stats["deletes"] += 1
+                response = build_response(200)
+            else:
+                self.stats["bad_requests"] += 1
+                response = build_response(404)
+        finally:
+            message.release()
+        self.costs.charge_http_build(ctx)
+        sock.send(response, ctx)
+
+    def _zero_copy_get(self, sock, key, ctx):
+        """Serve a GET without copying the value: headers go out as
+        bytes, the value as frag references into the PM packet pool."""
+        store = self.engine.store
+        record, frags = store.get_refs(bytes(key), ctx)
+        self.costs.charge_http_build(ctx)
+        if record is None or record.tombstone:
+            self.stats["misses"] += 1
+            sock.send(build_response(404), ctx)
+            return
+        self.stats["hits"] += 1
+        self.stats["zero_copy_gets"] += 1
+        head = (
+            f"HTTP/1.1 200 OK\r\nContent-Length: {record.value_len}\r\n\r\n"
+        ).encode("ascii")
+        # MSG_MORE coalesces head + value refs into full segments.
+        sock.send(head, ctx, more=True)
+        for index, (buf_slot, offset, length) in enumerate(frags):
+            last = index == len(frags) - 1
+            sock.send_buffer(store.buffer_handle(buf_slot), offset, length,
+                             ctx, more=not last)
+
+    def __repr__(self):
+        return f"<KVServer :{self.port} engine={self.engine.name}>"
+
+
+class HomaKVServer:
+    """The same KV service over the Homa-like transport (§5.2).
+
+    Requests and responses are self-contained messages carrying the
+    same HTTP-style encoding, so the storage engines — including the
+    packet-native one, whose zero-copy adoption works on any segment's
+    packet metadata — run unchanged.
+    """
+
+    def __init__(self, host, engine, port=80):
+        self.host = host
+        self.engine = engine
+        self.port = port
+        self.costs = host.costs
+        self.stats = {"puts": 0, "gets": 0, "deletes": 0, "hits": 0,
+                      "misses": 0, "bad_requests": 0}
+        self.transport = host.enable_homa()
+        self.transport.listen(port, self._on_request)
+
+    def _on_request(self, rpc, segments, ctx):
+        parser = HttpParser(is_response=False)
+        messages = []
+        for segment in segments:
+            messages.extend(parser.feed(segment, ctx, self.costs))
+        for message in messages:
+            response = self._dispatch(message, ctx)
+            self.costs.charge_http_build(ctx)
+            rpc.reply(response, ctx)
+
+    def _dispatch(self, message, ctx):
+        self.costs.charge_app(ctx)
+        key = (message.path or "/").lstrip("/").encode("utf-8")
+        try:
+            if message.method == "PUT" and key:
+                self.engine.put(key, message, ctx)
+                self.stats["puts"] += 1
+                return build_response(200)
+            if message.method == "GET" and key:
+                value = self.engine.get(key, ctx)
+                self.stats["gets"] += 1
+                if value is None:
+                    self.stats["misses"] += 1
+                    return build_response(404)
+                self.stats["hits"] += 1
+                return build_response(200, value)
+            if message.method == "DELETE" and key and hasattr(self.engine, "delete"):
+                self.engine.delete(key, ctx)
+                self.stats["deletes"] += 1
+                return build_response(200)
+            self.stats["bad_requests"] += 1
+            return build_response(404)
+        finally:
+            message.release()
+
+    def __repr__(self):
+        return f"<HomaKVServer :{self.port} engine={self.engine.name}>"

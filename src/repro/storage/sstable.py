@@ -1,0 +1,211 @@
+"""Sorted-string tables.
+
+The on-disk format LevelDB flushes memtables into: sorted entries
+packed into ~4 KB data blocks, a block index (first key + extent of
+each block), a Bloom filter, and a checksummed footer.  Lookups read
+the index/bloom from memory (they are loaded at open) and at most one
+data block from the device.
+
+Serialized layout inside a device extent::
+
+    [data block 0][data block 1]...[index][bloom][footer]
+    entry  := [u16 key_len][u32 value_len][u8 flags][key][value]
+    index  := [u32 nblocks] + nblocks * [u16 key_len][key][u32 off][u32 len][u32 crc]
+    footer := [u32 index_off][u32 index_len][u32 bloom_off][u32 bloom_len]
+              [u64 nentries][u32 footer_crc][u32 magic]
+"""
+
+import struct
+
+from repro.net.checksum import crc32c
+from repro.sim.context import NULL_CONTEXT
+from repro.storage.bloom import BloomFilter
+
+ENTRY_HEADER = struct.Struct("<HIB")
+FOOTER = struct.Struct("<IIIIQII")
+FOOTER_MAGIC = 0x55AB1E00
+TOMBSTONE = 1
+
+TARGET_BLOCK = 4096
+
+
+class SSTableError(RuntimeError):
+    """Corrupt or malformed table."""
+
+
+class SSTableBuilder:
+    """Accumulates sorted entries and serialises a table."""
+
+    def __init__(self, target_block=TARGET_BLOCK, bits_per_key=10):
+        self.target_block = target_block
+        self.bits_per_key = bits_per_key
+        self._entries = []
+        self._last_key = None
+
+    def add(self, key, value, tombstone=False):
+        """Add the newest version of ``key``; keys must arrive sorted."""
+        if self._last_key is not None and key <= self._last_key:
+            raise SSTableError("keys must be added in strictly increasing order")
+        self._last_key = key
+        self._entries.append((key, value, tombstone))
+
+    @property
+    def nentries(self):
+        return len(self._entries)
+
+    def finish(self):
+        """Serialise to bytes."""
+        bloom = BloomFilter.for_entries(max(1, len(self._entries)), self.bits_per_key)
+        blocks = []      # (first_key, serialized_block)
+        current = []
+        current_size = 0
+        first_key = None
+        for key, value, tombstone in self._entries:
+            bloom.add(key)
+            encoded = ENTRY_HEADER.pack(
+                len(key), len(value), TOMBSTONE if tombstone else 0
+            ) + key + value
+            if first_key is None:
+                first_key = key
+            current.append(encoded)
+            current_size += len(encoded)
+            if current_size >= self.target_block:
+                blocks.append((first_key, b"".join(current)))
+                current, current_size, first_key = [], 0, None
+        if current:
+            blocks.append((first_key, b"".join(current)))
+
+        body = bytearray()
+        index_parts = [struct.pack("<I", len(blocks))]
+        for first_key, block in blocks:
+            offset = len(body)
+            body.extend(block)
+            index_parts.append(struct.pack("<H", len(first_key)) + first_key)
+            index_parts.append(struct.pack("<III", offset, len(block), crc32c(block)))
+        index_blob = b"".join(index_parts)
+        bloom_blob = bloom.serialize()
+        index_off = len(body)
+        body.extend(index_blob)
+        bloom_off = len(body)
+        body.extend(bloom_blob)
+        footer_head = struct.pack(
+            "<IIIIQ", index_off, len(index_blob), bloom_off, len(bloom_blob),
+            len(self._entries),
+        )
+        footer = footer_head + struct.pack("<II", crc32c(footer_head), FOOTER_MAGIC)
+        body.extend(footer)
+        return bytes(body)
+
+
+class SSTable:
+    """An immutable table resident in a block-device extent."""
+
+    def __init__(self, device, base, length, name="sst"):
+        self.device = device
+        self.base = base
+        self.length = length
+        self.name = name
+        self._index = []   # (first_key, offset, length, crc)
+        self.nentries = 0
+        self.bloom = None
+        self._load_metadata()
+
+    @classmethod
+    def write(cls, device, base, builder_or_blob, ctx=NULL_CONTEXT, name="sst"):
+        """Serialise a builder (or raw blob) into the device at ``base``."""
+        blob = (
+            builder_or_blob.finish()
+            if isinstance(builder_or_blob, SSTableBuilder)
+            else builder_or_blob
+        )
+        device.write(base, blob, ctx, "sstable.write")
+        device.sync(ctx, "sstable.sync")
+        return cls(device, base, len(blob), name=name)
+
+    def _load_metadata(self):
+        if self.length < FOOTER.size:
+            raise SSTableError(f"{self.name}: too short for a footer")
+        footer_raw = self.device.read(
+            self.base + self.length - FOOTER.size, FOOTER.size
+        )
+        (index_off, index_len, bloom_off, bloom_len,
+         nentries, footer_crc, magic) = FOOTER.unpack(footer_raw)
+        if magic != FOOTER_MAGIC:
+            raise SSTableError(f"{self.name}: bad magic")
+        if crc32c(footer_raw[:24]) != footer_crc:
+            raise SSTableError(f"{self.name}: footer CRC mismatch")
+        self.nentries = nentries
+        index_blob = self.device.read(self.base + index_off, index_len)
+        (nblocks,) = struct.unpack_from("<I", index_blob, 0)
+        cursor = 4
+        for _ in range(nblocks):
+            (key_len,) = struct.unpack_from("<H", index_blob, cursor)
+            cursor += 2
+            first_key = index_blob[cursor:cursor + key_len]
+            cursor += key_len
+            offset, length, crc = struct.unpack_from("<III", index_blob, cursor)
+            cursor += 12
+            self._index.append((first_key, offset, length, crc))
+        bloom_blob = self.device.read(self.base + bloom_off, bloom_len)
+        self.bloom = BloomFilter.deserialize(bloom_blob)
+
+    # ---------------------------------------------------------------- lookups
+
+    def _block_for(self, key):
+        """Index of the data block that could hold ``key``; None if before all."""
+        lo, hi, best = 0, len(self._index) - 1, None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self._index[mid][0] <= key:
+                best = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return best
+
+    def _iter_block(self, block_idx, ctx):
+        first_key, offset, length, crc = self._index[block_idx]
+        raw = self.device.read(self.base + offset, length, ctx, "sstable.read")
+        if crc32c(raw) != crc:
+            raise SSTableError(f"{self.name}: block {block_idx} CRC mismatch")
+        cursor = 0
+        while cursor < len(raw):
+            key_len, value_len, flags = ENTRY_HEADER.unpack_from(raw, cursor)
+            cursor += ENTRY_HEADER.size
+            key = raw[cursor:cursor + key_len]
+            cursor += key_len
+            value = raw[cursor:cursor + value_len]
+            cursor += value_len
+            yield key, value, bool(flags & TOMBSTONE)
+
+    def get(self, key, ctx=NULL_CONTEXT):
+        """(found, value): tombstones return (True, None)."""
+        if self.bloom is not None and not self.bloom.might_contain(key):
+            return False, None
+        block_idx = self._block_for(key)
+        if block_idx is None:
+            return False, None
+        for entry_key, value, tombstone in self._iter_block(block_idx, ctx):
+            if entry_key == key:
+                return True, (None if tombstone else value)
+            if entry_key > key:
+                break
+        return False, None
+
+    def entries(self, ctx=NULL_CONTEXT):
+        """All entries in key order (used by compaction and scans)."""
+        for block_idx in range(len(self._index)):
+            yield from self._iter_block(block_idx, ctx)
+
+    def key_range(self, ctx=NULL_CONTEXT):
+        """(smallest, largest) key, reading the first and last blocks."""
+        if not self._index:
+            return None, None
+        first = next(iter(self._iter_block(0, ctx)))[0]
+        last = None
+        for entry in self._iter_block(len(self._index) - 1, ctx):
+            last = entry[0]
+        return first, last
+
+    def __repr__(self):
+        return f"<SSTable {self.name} {self.nentries} entries, {len(self._index)} blocks>"

@@ -1,0 +1,111 @@
+"""Calibration tests: the reproduction must match the paper's shape.
+
+These are the acceptance tests of the whole reproduction: Table 1's
+rows and Figure 2's penalty bands, plus the §4.2 projection that the
+packet-native store eliminates the checksum and copy rows.  Tolerances
+are deliberately loose on individual fitted rows and tight on the
+headline structure (who wins, by roughly what factor).
+"""
+
+import pytest
+
+from repro.bench.figure2 import measure_point
+from repro.bench.table1 import PAPER, run_table1
+from repro.bench.testbed import make_testbed
+from repro.bench.wrk import WrkClient
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(duration_ns=2_000_000, warmup_ns=400_000)
+
+
+class TestTable1(object):
+    def test_networking_rtt(self, table1):
+        assert table1.networking == pytest.approx(PAPER["networking"], rel=0.10)
+
+    def test_request_preparation(self, table1):
+        assert table1.prep == pytest.approx(PAPER["prep"], rel=0.25)
+
+    def test_checksum(self, table1):
+        assert table1.checksum == pytest.approx(PAPER["checksum"], rel=0.25)
+
+    def test_copy(self, table1):
+        assert table1.copy == pytest.approx(PAPER["copy"], rel=0.25)
+
+    def test_alloc_insert(self, table1):
+        assert table1.alloc_insert == pytest.approx(PAPER["alloc_insert"], rel=0.35)
+
+    def test_datamgmt_sum(self, table1):
+        assert table1.datamgmt == pytest.approx(PAPER["datamgmt"], rel=0.20)
+
+    def test_persistence(self, table1):
+        assert table1.persistence == pytest.approx(PAPER["persistence"], rel=0.25)
+
+    def test_total(self, table1):
+        assert table1.total == pytest.approx(PAPER["total"], rel=0.10)
+
+    def test_rows_sum_to_total(self, table1):
+        reconstructed = table1.networking + table1.datamgmt + table1.persistence
+        assert reconstructed == pytest.approx(table1.total, rel=0.05)
+
+
+class TestFigure2Shape:
+    """One mid-sweep point (n=25): the full sweep runs in benchmarks/."""
+
+    @pytest.fixture(scope="class")
+    def points(self):
+        raw = measure_point("rawpm", 25, base_duration_ns=4_000_000,
+                            base_warmup_ns=1_200_000)
+        nov = measure_point("novelsm", 25, base_duration_ns=4_000_000,
+                            base_warmup_ns=1_200_000)
+        return raw, nov
+
+    def test_novelsm_is_slower(self, points):
+        raw, nov = points
+        assert nov.avg_rtt_us > raw.avg_rtt_us
+        assert nov.throughput_krps < raw.throughput_krps
+
+    def test_latency_penalty_in_paper_band(self, points):
+        raw, nov = points
+        penalty = (nov.avg_rtt_us / raw.avg_rtt_us - 1) * 100
+        assert 11.0 <= penalty <= 50.0  # paper: 11-41 %, slack for the fit
+
+    def test_throughput_penalty_in_paper_band(self, points):
+        raw, nov = points
+        penalty = (1 - nov.throughput_krps / raw.throughput_krps) * 100
+        assert 9.0 <= penalty <= 35.0  # paper: 9-28 %, slack for the fit
+
+    def test_queueing_dominates_at_concurrency(self, points):
+        """At 25 connections, RTT is far above the single-request RTT."""
+        raw, _ = points
+        assert raw.avg_rtt_us > 5 * 29.0
+
+
+class TestProposalProjection:
+    """§4.2: the packet-native store removes checksum/copy/alloc costs."""
+
+    @pytest.fixture(scope="class")
+    def rtts(self):
+        out = {}
+        for engine in ("novelsm", "pktstore"):
+            testbed = make_testbed(engine=engine)
+            wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
+                            duration_ns=2_000_000, warmup_ns=400_000)
+            stats = wrk.run()
+            out[engine] = (stats.avg_rtt_us, testbed)
+        return out
+
+    def test_pktstore_beats_novelsm(self, rtts):
+        assert rtts["pktstore"][0] < rtts["novelsm"][0]
+
+    def test_savings_at_least_checksum_plus_copy(self, rtts):
+        """The paper names 1.77 (checksum) + 1.14 (copy) µs as reclaimable;
+        the packet-native design should save at least that."""
+        saving = rtts["novelsm"][0] - rtts["pktstore"][0]
+        assert saving >= 1.77 + 1.14
+
+    def test_pktstore_still_pays_persistence(self, rtts):
+        _, testbed = rtts["pktstore"]
+        acct = testbed.server.accounting
+        assert acct.category("persist") > 0

@@ -1,0 +1,111 @@
+"""Tests for the YCSB-style workload generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.testbed import make_testbed, preload
+from repro.bench.workloads import YcsbWorkload, ZipfianGenerator
+from repro.bench.wrk import WrkClient
+
+
+class TestZipfian:
+    def test_values_in_range(self):
+        gen = ZipfianGenerator(100, seed=3)
+        assert all(0 <= gen.next() < 100 for _ in range(2000))
+
+    def test_skew_concentrates_on_hot_items(self):
+        gen = ZipfianGenerator(1000, theta=0.99, seed=5)
+        samples = gen.sample(5000)
+        hot = sum(1 for s in samples if s < 10)
+        # Zipf(0.99): the top 1% of keys should draw far more than 1%.
+        assert hot / len(samples) > 0.15
+
+    def test_lower_theta_is_flatter(self):
+        skewed = ZipfianGenerator(1000, theta=0.99, seed=7).sample(4000)
+        flat = ZipfianGenerator(1000, theta=0.2, seed=7).sample(4000)
+        hot_skewed = sum(1 for s in skewed if s < 10) / 4000
+        hot_flat = sum(1 for s in flat if s < 10) / 4000
+        assert hot_skewed > hot_flat
+
+    def test_deterministic_per_seed(self):
+        a = ZipfianGenerator(500, seed=9).sample(100)
+        b = ZipfianGenerator(500, seed=9).sample(100)
+        assert a == b
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    nitems=st.integers(1, 5000),
+    theta=st.floats(0.01, 0.99),
+    seed=st.integers(0, 1000),
+)
+def test_property_zipfian_always_in_range(nitems, theta, seed):
+    gen = ZipfianGenerator(nitems, theta, seed)
+    assert all(0 <= gen.next() < nitems for _ in range(200))
+
+
+class TestYcsbWorkload:
+    def test_mix_ratios_roughly_hold(self):
+        workload = YcsbWorkload("B", key_space=100, seed=11)
+        for _ in range(2000):
+            workload.next_op()
+        read_share = workload.issued_reads / 2000
+        assert 0.92 < read_share < 0.98
+
+    def test_pure_mixes(self):
+        reads_only = YcsbWorkload("C", key_space=10)
+        writes_only = YcsbWorkload("W", key_space=10)
+        assert all(reads_only.next_op()[0] == "GET" for _ in range(100))
+        assert all(writes_only.next_op()[0] == "PUT" for _ in range(100))
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbWorkload("Z")
+
+    def test_keys_use_prefix_and_space(self):
+        workload = YcsbWorkload("A", key_space=50, key_prefix="obj")
+        for _ in range(100):
+            _method, key, _value = workload.next_op()
+            prefix, index = key.rsplit("-", 1)
+            assert prefix == "obj"
+            assert 0 <= int(index) < 50
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("mix", ["A", "B"])
+    def test_mixed_workload_over_the_network(self, mix):
+        testbed = make_testbed(engine="novelsm")
+        preload(testbed, entries=200, value_size=256)
+        workload = YcsbWorkload(mix, key_space=200, value_size=256, seed=13)
+        wrk = WrkClient(testbed.client, "10.0.0.1", connections=4,
+                        workload=workload,
+                        duration_ns=800_000, warmup_ns=200_000)
+        stats = wrk.run()
+        assert stats.errors == 0
+        assert stats.completed > 20
+        # Every GET hit (the key space was preloaded).
+        assert testbed.kv.stats["misses"] == 0
+        assert testbed.kv.stats["gets"] == workload.issued_reads
+        assert testbed.kv.stats["puts"] == workload.issued_writes
+
+    def test_mixed_workload_on_pktstore(self):
+        testbed = make_testbed(engine="pktstore")
+        # Preload through the pool so values live in packet buffers.
+        for i in range(100):
+            buf = testbed.server.rx_pool.alloc()
+            buf.write(0, bytes(256))
+            testbed.engine.store.put(f"warm-{i}".encode(), [(buf, 0, 256)],
+                                     256, 0, 0)
+        workload = YcsbWorkload("A", key_space=100, value_size=256, seed=17)
+        wrk = WrkClient(testbed.client, "10.0.0.1", connections=2,
+                        workload=workload,
+                        duration_ns=800_000, warmup_ns=200_000)
+        stats = wrk.run()
+        assert stats.errors == 0
+        assert testbed.kv.stats["misses"] == 0

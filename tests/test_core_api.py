@@ -1,0 +1,143 @@
+"""Tests for the post-POSIX packet-metadata I/O API (§5.1)."""
+
+from repro.bench.costmodel import CostModel
+from repro.core.api import PacketIO
+from repro.core.pktstore import PacketStore
+from repro.net.fabric import Fabric
+from repro.net.pool import BufferPool
+from repro.net.stack import Host
+from repro.pm.device import PMDevice
+from repro.pm.namespace import PMNamespace
+from repro.sim.engine import Simulator
+
+
+def make_pair():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    pm = PMDevice(32 << 20)
+    ns = PMNamespace(pm)
+    server = Host(sim, "srv", "10.0.0.1", fabric, CostModel.paste(),
+                  rx_pool_region=ns.create("rx", 4 << 20))
+    client = Host(sim, "cli", "10.0.0.2", fabric, CostModel.kernel())
+    return sim, server, client, ns, pm
+
+
+def test_precv_delivers_packet_metadata():
+    sim, server, client, ns, _ = make_pair()
+    seen = []
+
+    def on_accept(sock, ctx):
+        pio = PacketIO(sock)
+        pio.precv(lambda p, seg, c: seen.append(
+            (seg.bytes(), seg.pktbuf.hw_tstamp, seg.pktbuf.csum_verified)
+        ))
+
+    server.stack.listen(80, on_accept)
+
+    def start(ctx):
+        sock = client.stack.connect("10.0.0.1", 80, ctx)
+        sock.on_established = lambda s, c: s.send(b"metadata please", c)
+
+    client.process_on_core(client.cpus[0], start)
+    sim.run_until_idle()
+    assert len(seen) == 1
+    data, hw_tstamp, verified = seen[0]
+    assert data == b"metadata please"
+    assert hw_tstamp is not None      # NIC stamped it
+    assert verified                   # NIC verified the TCP checksum
+
+
+def test_precv_retained_segment_owns_pm_payload():
+    """The §4 adoption: retained packet payload lives in PM, flushable."""
+    sim, server, client, ns, pm = make_pair()
+    kept = []
+
+    def on_accept(sock, ctx):
+        def handler(pio, segment, c):
+            segment.retain()
+            segment.pktbuf.persist_payload(c, "persist")
+            kept.append(segment)
+
+        PacketIO(sock).precv(handler)
+
+    server.stack.listen(80, on_accept)
+
+    def start(ctx):
+        sock = client.stack.connect("10.0.0.1", 80, ctx)
+        sock.on_established = lambda s, c: s.send(b"durable payload bytes", c)
+
+    client.process_on_core(client.cpus[0], start)
+    sim.run_until_idle()
+    assert len(kept) == 1
+    segment = kept[0]
+    # Crash: the retained payload must survive (it was flushed in place).
+    pm.crash()
+    base = segment.pktbuf.buf.pool.region.global_offset(
+        segment.pktbuf.buf.region_offset(segment.pktbuf.data_off + segment.offset)
+    )
+    assert pm.persisted_view(base, segment.length) == b"durable payload bytes"
+
+
+def test_psend_transmits_buffer_refs_zero_copy():
+    sim, server, client, ns, _ = make_pair()
+    received = bytearray()
+
+    def on_accept(sock, ctx):
+        pio = PacketIO(sock)
+        buf = server.tx_pool.alloc()
+        buf.write(0, b"response from buffer refs")
+        pio.psend([(buf, 0, 25)], ctx)
+        buf.put()
+
+    server.stack.listen(80, on_accept)
+
+    def start(ctx):
+        sock = client.stack.connect("10.0.0.1", 80, ctx)
+        sock.on_data = lambda s, seg, c: received.extend(seg.bytes())
+
+    client.process_on_core(client.cpus[0], start)
+    sim.run_until_idle()
+    assert bytes(received) == b"response from buffer refs"
+
+
+def test_psend_record_serves_store_value_from_pm():
+    """GET path of the proposal: value goes out straight from the store."""
+    sim, server, client, ns, _ = make_pair()
+
+    pool = BufferPool(ns.create("store-pool", 2 << 20), 2048)
+    store = PacketStore.create(ns.create("store-meta", 1 << 20), pool)
+    buf = pool.alloc()
+    buf.write(0, b"stored-in-pm")
+    store.put(b"key", [(buf, 0, 12)], 12, 0, 0)
+
+    def on_accept(sock, ctx):
+        pio = PacketIO(sock)
+        sent = pio.psend_record(store, b"key", ctx)
+        assert sent == 12
+        assert pio.psend_record(store, b"missing", ctx) is None
+
+    server.stack.listen(80, on_accept)
+    received = bytearray()
+
+    def start(ctx):
+        sock = client.stack.connect("10.0.0.1", 80, ctx)
+        sock.on_data = lambda s, seg, c: received.extend(seg.bytes())
+
+    client.process_on_core(client.cpus[0], start)
+    sim.run_until_idle()
+    assert bytes(received) == b"stored-in-pm"
+
+
+def test_psend_bytes_classic_path_counts():
+    sim, server, client, ns, _ = make_pair()
+
+    def on_accept(sock, ctx):
+        pio = PacketIO(sock)
+        pio.psend_bytes(b"classic", ctx)
+        assert pio.tx_bytes == 7
+
+    server.stack.listen(80, on_accept)
+    client.process_on_core(
+        client.cpus[0], lambda ctx: client.stack.connect("10.0.0.1", 80, ctx)
+    )
+    sim.run_until_idle()

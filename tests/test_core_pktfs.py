@@ -1,0 +1,210 @@
+"""Unit + crash tests for the packet-metadata file system."""
+
+import pytest
+
+from repro.core.pktfs import PktFS, PktFSError
+from repro.net.checksum import crc32c
+from repro.net.http import HttpParser, build_request
+from repro.net.pktbuf import PktBuf
+from repro.net.pool import BufferPool
+from repro.net.tcp import RxSegment
+from repro.pm.device import PMDevice
+from repro.pm.namespace import PMNamespace
+
+
+def make_fs(pool_slots=128, meta_bytes=1 << 20):
+    dev = PMDevice(pool_slots * 2048 + meta_bytes + (1 << 16))
+    ns = PMNamespace(dev)
+    pool = BufferPool(ns.create("pages", pool_slots * 2048), 2048)
+    fs = PktFS.create(ns.create("meta", meta_bytes), pool)
+    return fs, pool, dev, ns
+
+
+def http_message(pool, name, body):
+    """Build a parsed HTTP message whose body sits in pool buffers."""
+    parser = HttpParser()
+    raw = build_request("PUT", f"/{name}", body)
+    messages = []
+    offset = 0
+    while offset < len(raw):
+        chunk = raw[offset:offset + 1400]
+        pkt = PktBuf.alloc(pool, headroom=0)
+        pkt.append(chunk)
+        pkt.hw_tstamp = 123456.0
+        seg = RxSegment(pkt, 0, len(chunk))
+        messages.extend(parser.feed(seg))
+        seg.release()
+        offset += 1400
+    assert len(messages) == 1
+    return messages[0]
+
+
+class TestWriteRead:
+    def test_write_then_read(self):
+        fs, _, _, _ = make_fs()
+        fs.write("motd", b"hello filesystem")
+        assert fs.read("motd") == b"hello filesystem"
+
+    def test_read_missing_raises(self):
+        fs, _, _, _ = make_fs()
+        with pytest.raises(PktFSError):
+            fs.read("ghost")
+
+    def test_multi_page_file(self):
+        fs, _, _, _ = make_fs()
+        data = bytes(i % 256 for i in range(9000))  # 5 pages
+        fs.write("big", data)
+        assert fs.read("big") == data
+        assert fs.stat("big").nextents == 5
+
+    def test_overwrite_replaces(self):
+        fs, pool, _, _ = make_fs()
+        fs.write("f", b"old contents")
+        fs.write("f", b"new")
+        assert fs.read("f") == b"new"
+        assert fs.list().count("f") == 1
+
+    def test_list_and_exists(self):
+        fs, _, _, _ = make_fs()
+        for name in ["a", "b", "c"]:
+            fs.write(name, name.encode())
+        assert sorted(fs.list()) == ["a", "b", "c"]
+        assert fs.exists("b")
+        assert not fs.exists("z")
+
+    def test_stat_reports_size_and_checksum(self):
+        fs, _, _, _ = make_fs()
+        data = b"check me please"
+        fs.write("f", data, mtime=777)
+        st = fs.stat("f")
+        assert st.size == len(data)
+        assert st.checksum == crc32c(data)
+        assert st.mtime == 777
+
+    def test_read_verify_detects_corruption(self):
+        fs, pool, dev, _ = make_fs()
+        fs.write("f", b"precious-bytes")
+        assert fs.read("f", verify=True) == b"precious-bytes"
+        pos = bytes(dev.data).find(b"precious-bytes")
+        dev.data[pos] ^= 0x10
+        with pytest.raises(PktFSError):
+            fs.read("f", verify=True)
+
+    def test_unlink_frees_everything(self):
+        fs, pool, _, _ = make_fs()
+        fs.write("f", b"x" * 5000)
+        pages_used = pool.in_use
+        records_used = fs.slab.used
+        fs.unlink("f")
+        assert pool.in_use < pages_used
+        assert fs.slab.used < records_used
+        assert not fs.exists("f")
+        with pytest.raises(PktFSError):
+            fs.unlink("f")
+
+
+class TestIngest:
+    def test_ingest_from_http_message_zero_copy(self):
+        fs, pool, _, _ = make_fs()
+        body = bytes(i % 251 for i in range(3000))
+        message = http_message(pool, "upload.bin", body)
+        fs.ingest("upload.bin", message)
+        message.release()
+        assert fs.read("upload.bin") == body
+        # Extents reference the original rx buffers — no new pages were
+        # allocated for data (only what the message arrived in remains).
+        st = fs.stat("upload.bin")
+        assert st.nextents == len(fs.extent_refs("upload.bin"))
+
+    def test_ingest_records_nic_timestamp(self):
+        fs, pool, _, _ = make_fs()
+        message = http_message(pool, "f", b"data")
+        fs.ingest("f", message)
+        message.release()
+        assert fs.stat("f").mtime == 123456
+
+    def test_ingest_checksum_matches_content(self):
+        fs, pool, _, _ = make_fs()
+        body = b"payload under checksum"
+        message = http_message(pool, "f", body)
+        fs.ingest("f", message)
+        message.release()
+        assert fs.stat("f").checksum == crc32c(body)
+        assert fs.read("f", verify=True) == body
+
+
+class TestCrashRecovery:
+    def test_files_survive_crash(self):
+        fs, pool, dev, ns = make_fs()
+        expected = {}
+        for i in range(12):
+            name, data = f"file-{i}", bytes([i]) * (500 * (i + 1) % 4000 + 10)
+            fs.write(name, data)
+            expected[name] = data
+        dev.crash()
+        ns2 = PMNamespace.reopen(dev)
+        pool2 = BufferPool(ns2.open("pages"), 2048)
+        fs2, report = PktFS.recover(ns2.open("meta"), pool2)
+        assert report.recovered == 12
+        for name, data in expected.items():
+            assert fs2.read(name) == data
+
+    def test_unlinked_files_stay_gone_after_crash(self):
+        fs, pool, dev, ns = make_fs()
+        fs.write("keep", b"1")
+        fs.write("drop", b"2")
+        fs.unlink("drop")
+        dev.crash()
+        ns2 = PMNamespace.reopen(dev)
+        pool2 = BufferPool(ns2.open("pages"), 2048)
+        fs2, _ = PktFS.recover(ns2.open("meta"), pool2)
+        assert fs2.list() == ["keep"]
+
+    def test_recovered_fs_supports_all_operations(self):
+        fs, pool, dev, ns = make_fs()
+        fs.write("a", b"alpha")
+        dev.crash()
+        ns2 = PMNamespace.reopen(dev)
+        pool2 = BufferPool(ns2.open("pages"), 2048)
+        fs2, _ = PktFS.recover(ns2.open("meta"), pool2)
+        fs2.write("b", b"beta")
+        fs2.unlink("a")
+        assert fs2.list() == ["b"]
+        assert fs2.read("b") == b"beta"
+
+
+class TestZeroCopyServe:
+    def test_send_file_over_real_stack(self):
+        """Write a file into PktFS, then serve it zero-copy over TCP."""
+        from repro.bench.costmodel import CostModel
+        from repro.net.fabric import Fabric
+        from repro.net.stack import Host
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        fabric = Fabric(sim)
+        pm = PMDevice(32 << 20, name="pm")
+        ns = PMNamespace(pm)
+        server = Host(sim, "srv", "10.0.0.1", fabric, CostModel.paste(),
+                      rx_pool_region=ns.create("rx", 4 << 20))
+        client = Host(sim, "cli", "10.0.0.2", fabric, CostModel.kernel())
+
+        # Server-side file system over its own PM pool.
+        pages = BufferPool(ns.create("pages", 4 << 20), 2048)
+        fs = PktFS.create(ns.create("meta", 1 << 20), pages)
+        content = bytes(i % 256 for i in range(6000))
+        fs.write("video.bin", content)
+
+        def on_accept(sock, ctx):
+            fs.send_file("video.bin", sock, ctx)
+
+        server.stack.listen(80, on_accept)
+        received = bytearray()
+
+        def start(ctx):
+            sock = client.stack.connect("10.0.0.1", 80, ctx)
+            sock.on_data = lambda s, seg, c: received.extend(seg.bytes())
+
+        client.process_on_core(client.cpus[0], start)
+        sim.run_until_idle()
+        assert bytes(received) == content

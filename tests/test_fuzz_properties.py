@@ -1,0 +1,166 @@
+"""Cross-cutting property tests: parser segmentation, Homa reassembly,
+PktFS model equivalence, example smoke checks."""
+
+import importlib.util
+import pathlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pktfs import PktFS, PktFSError
+from repro.net.homa import _InMessage
+from repro.net.http import HttpParser, build_request
+from repro.net.pktbuf import PktBuf
+from repro.net.pool import BufferPool
+from repro.net.tcp import RxSegment
+from repro.pm.device import DRAMDevice, PMDevice
+from repro.pm.namespace import PMNamespace
+
+
+def make_pool(slots=64):
+    dev = DRAMDevice(slots * 2048)
+    return BufferPool(dev.region(0, slots * 2048, "pool"), 2048)
+
+
+def feed_with_splits(parser, pool, raw, cuts):
+    """Feed ``raw`` split at the given offsets; return parsed messages."""
+    bounds = sorted({0, len(raw), *[c % (len(raw) + 1) for c in cuts]})
+    messages = []
+    for start, end in zip(bounds, bounds[1:]):
+        if start == end:
+            continue
+        chunk = raw[start:end]
+        # Respect the pool's slot size like TCP segmentation would.
+        for off in range(0, len(chunk), 1400):
+            piece = chunk[off:off + 1400]
+            pkt = PktBuf.alloc(pool, headroom=0)
+            pkt.append(piece)
+            seg = RxSegment(pkt, 0, len(piece))
+            messages.extend(parser.feed(seg))
+            seg.release()
+    return messages
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bodies=st.lists(st.binary(min_size=0, max_size=3000), min_size=1, max_size=4),
+    cuts=st.lists(st.integers(0, 10_000), max_size=8),
+)
+def test_property_http_parse_invariant_under_any_segmentation(bodies, cuts):
+    """A pipelined request stream parses identically however TCP slices it."""
+    raw = b"".join(
+        build_request("PUT", f"/key-{i}", body) for i, body in enumerate(bodies)
+    )
+    parser = HttpParser()
+    pool = make_pool(slots=256)
+    messages = feed_with_splits(parser, pool, raw, cuts)
+    assert len(messages) == len(bodies)
+    for i, (message, body) in enumerate(zip(messages, bodies)):
+        assert message.method == "PUT"
+        assert message.path == f"/key-{i}"
+        assert message.body == body
+        message.release()
+    assert pool.in_use == 0  # every packet reference released
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    msg_len=st.integers(1, 20_000),
+    arrivals=st.lists(st.integers(0, 19_999), max_size=30),
+)
+def test_property_homa_missing_range_finds_first_hole(msg_len, arrivals):
+    """missing_range always reports the first gap, or None when complete."""
+    message = _InMessage(1, 0, 0, 0, msg_len)
+
+    class _Seg:
+        def __init__(self, length):
+            self.length = length
+
+    chunk = 1000
+    for arrival in arrivals:
+        offset = (arrival // chunk) * chunk
+        if offset >= msg_len or offset in message.segments:
+            continue
+        length = min(chunk, msg_len - offset)
+        message.segments[offset] = _Seg(length)
+        message.received += length
+    hole = message.missing_range()
+    covered = set()
+    for offset, seg in message.segments.items():
+        covered.update(range(offset, offset + seg.length))
+    if len(covered) == msg_len:
+        assert hole is None
+    else:
+        first_missing = next(i for i in range(msg_len) if i not in covered)
+        assert hole is not None
+        offset, length = hole
+        assert offset == first_missing
+        assert length >= 1
+        assert all(offset + j not in covered for j in range(length))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["write", "unlink", "overwrite"]),
+            st.integers(0, 5),
+            st.binary(min_size=0, max_size=4000),
+        ),
+        max_size=25,
+    )
+)
+def test_property_pktfs_matches_model_dict(ops):
+    """PktFS behaves like a dict of files under arbitrary op sequences."""
+    dev = PMDevice(16 << 20)
+    ns = PMNamespace(dev)
+    pool = BufferPool(ns.create("pages", 8 << 20), 2048)
+    fs = PktFS.create(ns.create("meta", 1 << 20), pool)
+    model = {}
+    for op, file_id, data in ops:
+        name = f"file-{file_id}"
+        if op in ("write", "overwrite"):
+            fs.write(name, data)
+            model[name] = data
+        elif name in model:
+            fs.unlink(name)
+            del model[name]
+        else:
+            with pytest.raises(PktFSError):
+                fs.unlink(name)
+    assert sorted(fs.list()) == sorted(model)
+    for name, data in model.items():
+        assert fs.read(name, verify=True) == data
+    # Crash + remount: same view.
+    dev.crash()
+    ns2 = PMNamespace.reopen(dev)
+    pool2 = BufferPool(ns2.open("pages"), 2048)
+    fs2, _ = PktFS.recover(ns2.open("meta"), pool2)
+    assert sorted(fs2.list()) == sorted(model)
+    for name, data in model.items():
+        assert fs2.read(name, verify=True) == data
+
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestExamplesSmoke:
+    @pytest.mark.parametrize("name", [
+        "quickstart", "edge_cdn", "crash_recovery",
+        "pktfs_demo", "overhead_tour", "homa_transport",
+    ])
+    def test_example_importable_with_main(self, name):
+        spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert callable(module.main)
+
+    def test_pktfs_demo_runs(self, capsys):
+        spec = importlib.util.spec_from_file_location(
+            "pktfs_demo", EXAMPLES / "pktfs_demo.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        out = capsys.readouterr().out
+        assert "All files intact" in out

@@ -1,0 +1,162 @@
+"""Unit tests for the fabric (links, switch, faults) and NIC model."""
+
+import random
+
+import pytest
+
+from repro.bench.costmodel import CostModel
+from repro.net.fabric import Fabric, Link, LinkFaults
+from repro.net.headers import IPv4Header, TCPHeader, ETH_HEADER_LEN, IPV4_HEADER_LEN
+from repro.net.nic import Nic, NicFeatures, _l4_checksum_of_frame, _l4_csum_field
+from repro.net.stack import Host
+from repro.sim.engine import Simulator
+
+
+class TestLink:
+    def test_serialization_time_scales_with_size(self):
+        link = Link(bandwidth_gbps=25.0, propagation_ns=200.0)
+        small = link.serialization_ns(100)
+        large = link.serialization_ns(1500)
+        assert large == pytest.approx(15 * small)
+        # 1500B at 25 Gbps = 480 ns.
+        assert large == pytest.approx(480.0)
+
+    def test_back_to_back_frames_queue_on_the_link(self):
+        link = Link(bandwidth_gbps=25.0, propagation_ns=0.0)
+        first = link.transmit(now=0.0, nbytes=1500)
+        second = link.transmit(now=0.0, nbytes=1500)
+        assert second == pytest.approx(2 * first)
+
+    def test_idle_link_starts_immediately(self):
+        link = Link(bandwidth_gbps=25.0, propagation_ns=100.0)
+        link.transmit(now=0.0, nbytes=1500)
+        later = link.transmit(now=10_000.0, nbytes=1500)
+        assert later == pytest.approx(10_000.0 + 480.0 + 100.0)
+
+
+class TestFabric:
+    def make(self, faults=None):
+        sim = Simulator()
+        fabric = Fabric(sim, faults=faults)
+        server = Host(sim, "a", "10.0.0.1", fabric, CostModel.paste())
+        client = Host(sim, "b", "10.0.0.2", fabric, CostModel.kernel())
+        return sim, fabric, server, client
+
+    def test_duplicate_registration_rejected(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        Host(sim, "a", "10.0.0.1", fabric, CostModel.paste())
+        with pytest.raises(ValueError):
+            Host(sim, "dup", "10.0.0.1", fabric, CostModel.paste())
+
+    def test_frames_to_unknown_hosts_blackholed(self):
+        sim, fabric, server, _client = self.make()
+        fabric.transmit(server.nic, 0x0A0000FF, b"x" * 100)
+        sim.run_until_idle()  # nothing delivered, nothing crashes
+        assert fabric.frames == 1
+
+    def test_one_way_latency_model(self):
+        sim, fabric, _, _ = self.make()
+        latency = fabric.one_way_latency_ns(1500)
+        # two serialisations + two propagations + switch
+        assert latency == pytest.approx(2 * 480.0 + 2 * 200.0 + 300.0)
+
+    def test_fault_free_fabric_preserves_order(self):
+        sim, fabric, server, client = self.make()
+        arrivals = []
+        client.nic.on_wire = lambda frame: arrivals.append(frame)
+        for i in range(10):
+            fabric.transmit(server.nic, client.ip, bytes([i]) * 60)
+        sim.run_until_idle()
+        assert [a[0] for a in arrivals] == list(range(10))
+
+
+class TestLinkFaults:
+    def test_loss_rate_statistical(self):
+        faults = LinkFaults(random.Random(1), loss=0.5)
+        outcomes = [faults.plan(b"frame") for _ in range(400)]
+        dropped = sum(1 for plan in outcomes if not plan)
+        assert 120 < dropped < 280
+
+    def test_corruption_flips_exactly_one_bit(self):
+        faults = LinkFaults(random.Random(2), corrupt=1.0)
+        frame = bytes(64)
+        ((_, corrupted),) = faults.plan(frame)
+        diff = [i for i in range(64) if corrupted[i] != frame[i]]
+        assert len(diff) == 1
+        xor = corrupted[diff[0]] ^ frame[diff[0]]
+        assert bin(xor).count("1") == 1
+
+    def test_duplicate_doubles_delivery(self):
+        faults = LinkFaults(random.Random(3), duplicate=1.0)
+        plan = faults.plan(b"frame")
+        assert len(plan) == 2
+        assert plan[0][1] == plan[1][1]
+
+    def test_reorder_adds_delay(self):
+        faults = LinkFaults(random.Random(4), reorder=1.0, reorder_delay_ns=1000.0)
+        ((delay, _),) = faults.plan(b"frame")
+        assert 0 <= delay <= 1000.0
+
+
+def _tcp_frame(payload=b"data", src="10.0.0.2", dst="10.0.0.1"):
+    ip = IPv4Header(src, dst, total_len=IPV4_HEADER_LEN + 20 + len(payload))
+    tcp = TCPHeader(4000, 80, seq=1, ack=0, flags=0x18)
+    tcp.compute_checksum(ip, payload)
+    eth = b"\x02\x00\x0a\x00\x00\x01" + b"\x02\x00\x0a\x00\x00\x02" + b"\x08\x00"
+    return eth + ip.pack() + tcp.pack() + payload
+
+
+class TestNic:
+    def make_host(self, features=None):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        host = Host(sim, "h", "10.0.0.1", fabric, CostModel.paste(),
+                    nic_features=features)
+        return sim, host
+
+    def test_rx_dma_and_hw_timestamp(self):
+        sim, host = self.make_host()
+        frame = _tcp_frame()
+        sim.schedule(1000, host.nic.on_wire, frame)
+        received = []
+        host.on_nic_rx = lambda nic, pkt: received.append(pkt)
+        sim.run_until_idle()
+        (pkt,) = received
+        assert pkt.linear_bytes() == frame
+        assert pkt.hw_tstamp == pytest.approx(1000.0)
+        assert pkt.csum_verified
+
+    def test_rx_csum_offload_flags_corruption(self):
+        sim, host = self.make_host()
+        frame = bytearray(_tcp_frame())
+        frame[-1] ^= 0xFF  # corrupt payload
+        received = []
+        host.on_nic_rx = lambda nic, pkt: received.append(pkt)
+        sim.schedule(0, host.nic.on_wire, bytes(frame))
+        sim.run_until_idle()
+        assert not received[0].csum_verified
+        assert host.nic.stats["rx_bad_csum"] == 1
+
+    def test_no_hw_timestamp_without_feature(self):
+        sim, host = self.make_host(NicFeatures(hw_timestamps=False))
+        received = []
+        host.on_nic_rx = lambda nic, pkt: received.append(pkt)
+        sim.schedule(0, host.nic.on_wire, _tcp_frame())
+        sim.run_until_idle()
+        assert received[0].hw_tstamp is None
+
+    def test_rx_pool_exhaustion_drops(self):
+        sim, host = self.make_host()
+        # Exhaust the pool.
+        while host.rx_pool.available:
+            host.rx_pool.alloc()
+        host.nic.on_wire(_tcp_frame())
+        assert host.nic.stats["rx_dropped_nobuf"] == 1
+
+    def test_l4_checksum_helpers_handle_unknown_proto(self):
+        ip = IPv4Header("1.2.3.4", "5.6.7.8", proto=17,  # UDP: not offloaded
+                        total_len=IPV4_HEADER_LEN + 8)
+        frame = bytes(14) + ip.pack() + bytes(8)
+        assert _l4_checksum_of_frame(frame) is None
+        assert _l4_csum_field(frame) is None

@@ -1,0 +1,162 @@
+"""Unit tests for the HTTP codec and incremental parser."""
+
+import pytest
+
+from repro.net.http import (
+    HttpError,
+    HttpParser,
+    build_request,
+    build_response,
+)
+from repro.net.pktbuf import PktBuf
+from repro.net.pool import BufferPool
+from repro.net.tcp import RxSegment
+from repro.pm.device import DRAMDevice
+
+
+def make_pool(slots=32):
+    dev = DRAMDevice(slots * 2048)
+    return BufferPool(dev.region(0, slots * 2048, "pool"), 2048)
+
+
+def segments_for(pool, payload, split=None):
+    """Turn a byte string into RxSegments, optionally split at offsets."""
+    cuts = [0] + sorted(split or []) + [len(payload)]
+    segments = []
+    for start, end in zip(cuts, cuts[1:]):
+        if start == end:
+            continue
+        pkt = PktBuf.alloc(pool, headroom=0)
+        pkt.append(payload[start:end])
+        segments.append(RxSegment(pkt, 0, end - start))
+    return segments
+
+
+class TestBuilders:
+    def test_put_request_format(self):
+        raw = build_request("PUT", "/key1", b"value")
+        assert raw == b"PUT /key1 HTTP/1.1\r\nContent-Length: 5\r\n\r\nvalue"
+
+    def test_get_request_has_empty_body(self):
+        raw = build_request("GET", "/key1")
+        assert raw.endswith(b"Content-Length: 0\r\n\r\n")
+
+    def test_response_reason_phrases(self):
+        assert b"200 OK" in build_response(200)
+        assert b"404 Not Found" in build_response(404)
+        assert b"500 Internal Server Error" in build_response(500)
+
+    def test_response_extra_headers(self):
+        raw = build_response(200, b"x", extra_headers={"X-Store": "pktstore"})
+        assert b"X-Store: pktstore\r\n" in raw
+
+
+class TestParser:
+    def test_single_segment_request(self):
+        pool = make_pool()
+        parser = HttpParser()
+        raw = build_request("PUT", "/k", b"hello")
+        (seg,) = segments_for(pool, raw)
+        (msg,) = parser.feed(seg)
+        assert msg.method == "PUT"
+        assert msg.path == "/k"
+        assert msg.body == b"hello"
+        msg.release()
+
+    def test_body_spanning_segments(self):
+        pool = make_pool()
+        parser = HttpParser()
+        raw = build_request("PUT", "/k", b"A" * 3000)
+        segs = segments_for(pool, raw, split=[1460, 2920])
+        messages = []
+        for seg in segs:
+            messages.extend(parser.feed(seg))
+        assert len(messages) == 1
+        assert messages[0].body == b"A" * 3000
+        assert len(messages[0].body_slices) == 3
+
+    def test_headers_spanning_segments(self):
+        pool = make_pool()
+        parser = HttpParser()
+        raw = build_request("PUT", "/some-much-longer-key-name", b"v")
+        segs = segments_for(pool, raw, split=[10, 20, 30])
+        messages = []
+        for seg in segs:
+            messages.extend(parser.feed(seg))
+        assert len(messages) == 1
+        assert messages[0].path == "/some-much-longer-key-name"
+        assert messages[0].body == b"v"
+
+    def test_multiple_messages_in_one_segment(self):
+        pool = make_pool()
+        parser = HttpParser()
+        raw = build_request("PUT", "/a", b"1") + build_request("GET", "/b")
+        (seg,) = segments_for(pool, raw)
+        messages = parser.feed(seg)
+        assert [m.method for m in messages] == ["PUT", "GET"]
+        assert messages[0].body == b"1"
+        assert messages[1].content_length == 0
+
+    def test_pipelined_boundary_mid_header(self):
+        pool = make_pool()
+        parser = HttpParser()
+        raw = build_request("PUT", "/a", b"xx") + build_request("PUT", "/b", b"yy")
+        # Split inside the second request's header block.
+        split_at = len(build_request("PUT", "/a", b"xx")) + 7
+        segs = segments_for(pool, raw, split=[split_at])
+        messages = []
+        for seg in segs:
+            messages.extend(parser.feed(seg))
+        assert [(m.path, m.body) for m in messages] == [("/a", b"xx"), ("/b", b"yy")]
+
+    def test_response_parsing(self):
+        pool = make_pool()
+        parser = HttpParser(is_response=True)
+        (seg,) = segments_for(pool, build_response(200, b"payload"))
+        (msg,) = parser.feed(seg)
+        assert msg.status == 200
+        assert msg.body == b"payload"
+
+    def test_malformed_request_line_raises(self):
+        pool = make_pool()
+        parser = HttpParser()
+        (seg,) = segments_for(pool, b"NONSENSE\r\n\r\n")
+        with pytest.raises(HttpError):
+            parser.feed(seg)
+
+    def test_oversized_headers_rejected(self):
+        pool = make_pool()
+        parser = HttpParser()
+        with pytest.raises(HttpError):
+            for seg in segments_for(pool, b"GET /" + b"x" * 9000, split=[2000, 4000, 6000, 8000]):
+                parser.feed(seg)
+
+    def test_body_slices_are_zero_copy_views(self):
+        """Body slices reference the original packet buffers."""
+        pool = make_pool()
+        parser = HttpParser()
+        raw = build_request("PUT", "/k", b"Z" * 100)
+        (seg,) = segments_for(pool, raw)
+        (msg,) = parser.feed(seg)
+        buf, offset, length = msg.body_slices[0].buffer_ref()
+        assert buf is seg.pktbuf.buf
+        assert buf.read(offset, length) == b"Z" * 100
+
+    def test_message_holds_packet_refs_until_release(self):
+        pool = make_pool(slots=1)
+        parser = HttpParser()
+        raw = build_request("PUT", "/k", b"data")
+        (seg,) = segments_for(pool, raw)
+        (msg,) = parser.feed(seg)
+        seg.release()  # the stack's reference
+        assert pool.in_use == 1  # message still holds it
+        msg.release()
+        assert pool.in_use == 0
+
+    def test_zero_length_body_put(self):
+        pool = make_pool()
+        parser = HttpParser()
+        (seg,) = segments_for(pool, build_request("PUT", "/empty", b""))
+        (msg,) = parser.feed(seg)
+        assert msg.content_length == 0
+        assert msg.body == b""

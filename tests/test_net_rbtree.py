@@ -1,0 +1,152 @@
+"""Unit + property tests for the red-black tree (TCP's OOO index)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.rbtree import RBTree
+
+
+class TestBasics:
+    def test_insert_and_get(self):
+        tree = RBTree()
+        tree.insert(5, "five")
+        tree.insert(3, "three")
+        tree.insert(8, "eight")
+        assert tree.get(5) == "five"
+        assert tree.get(3) == "three"
+        assert tree.get(9) is None
+        assert tree.get(9, "dflt") == "dflt"
+        assert len(tree) == 3
+        assert 5 in tree and 9 not in tree
+
+    def test_duplicate_insert_rejected(self):
+        tree = RBTree()
+        tree.insert(1, "a")
+        with pytest.raises(KeyError):
+            tree.insert(1, "b")
+
+    def test_replace_overwrites(self):
+        tree = RBTree()
+        tree.replace(1, "a")
+        tree.replace(1, "b")
+        assert tree.get(1) == "b"
+        assert len(tree) == 1
+
+    def test_items_sorted(self):
+        tree = RBTree()
+        for key in [5, 1, 9, 3, 7, 2, 8]:
+            tree.insert(key, key * 10)
+        assert list(tree.keys()) == [1, 2, 3, 5, 7, 8, 9]
+
+    def test_min_max(self):
+        tree = RBTree()
+        assert tree.min() is None and tree.max() is None
+        for key in [4, 2, 9]:
+            tree.insert(key, None)
+        assert tree.min() == (2, None)
+        assert tree.max() == (9, None)
+
+    def test_floor_ceiling(self):
+        tree = RBTree()
+        for key in [10, 20, 30]:
+            tree.insert(key, str(key))
+        assert tree.floor(25) == (20, "20")
+        assert tree.floor(20) == (20, "20")
+        assert tree.floor(5) is None
+        assert tree.ceiling(25) == (30, "30")
+        assert tree.ceiling(30) == (30, "30")
+        assert tree.ceiling(35) is None
+
+    def test_delete_returns_value(self):
+        tree = RBTree()
+        tree.insert(1, "one")
+        assert tree.delete(1) == "one"
+        assert len(tree) == 0
+        with pytest.raises(KeyError):
+            tree.delete(1)
+
+    def test_pop_min_drains_in_order(self):
+        tree = RBTree()
+        for key in [3, 1, 2]:
+            tree.insert(key, None)
+        assert [tree.pop_min()[0] for _ in range(3)] == [1, 2, 3]
+        assert tree.pop_min() is None
+
+    def test_empty_tree_is_falsy(self):
+        tree = RBTree()
+        assert not tree
+        tree.insert(1, None)
+        assert tree
+
+
+class TestInvariantsDirected:
+    def test_ascending_insertions(self):
+        tree = RBTree()
+        for key in range(200):
+            tree.insert(key, key)
+            tree.check_invariants()
+        assert list(tree.keys()) == list(range(200))
+
+    def test_descending_insertions(self):
+        tree = RBTree()
+        for key in reversed(range(200)):
+            tree.insert(key, key)
+        tree.check_invariants()
+
+    def test_delete_all_in_random_order(self):
+        import random
+
+        rng = random.Random(7)
+        keys = list(range(100))
+        tree = RBTree()
+        for key in keys:
+            tree.insert(key, key)
+        rng.shuffle(keys)
+        for key in keys:
+            tree.delete(key)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "delete"]), st.integers(0, 50)),
+        max_size=120,
+    )
+)
+def test_property_model_equivalence(ops):
+    """The tree behaves exactly like a sorted dict under random ops."""
+    tree = RBTree()
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            if key in model:
+                with pytest.raises(KeyError):
+                    tree.insert(key, key)
+            else:
+                tree.insert(key, key)
+                model[key] = key
+        else:
+            if key in model:
+                assert tree.delete(key) == key
+                del model[key]
+            else:
+                with pytest.raises(KeyError):
+                    tree.delete(key)
+    assert list(tree.items()) == sorted(model.items())
+    tree.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=st.sets(st.integers(0, 10_000), max_size=300))
+def test_property_black_height_is_logarithmic(keys):
+    tree = RBTree()
+    for key in keys:
+        tree.insert(key, None)
+    black_height = tree.check_invariants()
+    if keys:
+        import math
+
+        # Red-black bound: height <= 2*log2(n+1); black height <= height.
+        assert black_height <= 2 * math.log2(len(keys) + 1) + 1

@@ -1,0 +1,153 @@
+"""Unit and property tests for the persistent-memory allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pm import AllocationError, PMAllocator, PMDevice
+from repro.pm.alloc import HEADER_SIZE
+from repro.sim import ExecutionContext
+
+
+def make_allocator(size=1 << 16):
+    dev = PMDevice(size)
+    return PMAllocator(dev.region(0, size, "heap")), dev
+
+
+class TestAllocFree:
+    def test_alloc_returns_usable_offset(self):
+        alloc, dev = make_allocator()
+        off = alloc.alloc(100)
+        dev.region(0, 1 << 16, "heap").write(off, b"x" * 100)
+        assert alloc.usable_size(off) == 100
+
+    def test_allocations_do_not_overlap(self):
+        alloc, _ = make_allocator()
+        spans = []
+        for size in [10, 100, 64, 1, 255, 4096]:
+            off = alloc.alloc(size)
+            spans.append((off, off + size))
+        spans.sort()
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+
+    def test_free_then_realloc_reuses_space(self):
+        alloc, _ = make_allocator()
+        a = alloc.alloc(128)
+        alloc.free(a)
+        b = alloc.alloc(128)
+        assert b == a
+
+    def test_double_free_rejected(self):
+        alloc, _ = make_allocator()
+        off = alloc.alloc(16)
+        alloc.free(off)
+        with pytest.raises(AllocationError):
+            alloc.free(off)
+
+    def test_free_of_garbage_offset_rejected(self):
+        alloc, _ = make_allocator()
+        with pytest.raises(AllocationError):
+            alloc.free(12345)
+
+    def test_zero_or_negative_size_rejected(self):
+        alloc, _ = make_allocator()
+        with pytest.raises(ValueError):
+            alloc.alloc(0)
+        with pytest.raises(ValueError):
+            alloc.alloc(-8)
+
+    def test_exhaustion_raises(self):
+        alloc, _ = make_allocator(size=1024)
+        with pytest.raises(AllocationError):
+            for _ in range(100):
+                alloc.alloc(128)
+
+    def test_coalescing_allows_large_realloc(self):
+        alloc, _ = make_allocator(size=4096)
+        offs = [alloc.alloc(256) for _ in range(8)]
+        for off in offs:
+            alloc.free(off)
+        # After coalescing, one big allocation must fit in the freed space.
+        big = alloc.alloc(2048)
+        assert big >= HEADER_SIZE
+
+    def test_alloc_charges_cost(self):
+        alloc, _ = make_allocator()
+        ctx = ExecutionContext()
+        alloc.alloc(64, ctx)
+        assert ctx.category("pm.alloc") > 0
+
+
+class TestRecovery:
+    def test_live_allocations_survive_crash(self):
+        size = 1 << 16
+        dev = PMDevice(size)
+        region = dev.region(0, size, "heap")
+        alloc = PMAllocator(region)
+        kept = alloc.alloc(100)
+        freed = alloc.alloc(50)
+        alloc.free(freed)
+        dev.crash()
+        alloc2 = PMAllocator.attach(dev.region(0, size, "heap"))
+        live = alloc2.recover()
+        assert live == [kept]
+
+    def test_recovery_tolerates_torn_frontier(self):
+        size = 1 << 16
+        dev = PMDevice(size)
+        region = dev.region(0, size, "heap")
+        alloc = PMAllocator(region)
+        committed = alloc.alloc(64)
+        # Simulate a torn in-flight allocation: write garbage past the
+        # heap frontier without persisting a valid header.
+        dev.write(2048, b"\xff" * 32)
+        dev.crash()
+        alloc2 = PMAllocator.attach(dev.region(0, size, "heap"))
+        assert committed in alloc2.recover()
+
+    def test_realloc_after_recovery_does_not_clobber_live_data(self):
+        size = 1 << 16
+        dev = PMDevice(size)
+        region = dev.region(0, size, "heap")
+        alloc = PMAllocator(region)
+        off = alloc.alloc(32)
+        region.write(off, b"precious-data-here-for-checking!")
+        region.persist(off, 32)
+        dev.crash()
+        alloc2 = PMAllocator.attach(dev.region(0, size, "heap"))
+        alloc2.recover()
+        fresh = alloc2.alloc(64)
+        assert not (fresh < off + 32 and off < fresh + 64)
+        assert region.read(off, 32) == b"precious-data-here-for-checking!"
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=512)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+        ),
+        max_size=60,
+    )
+)
+def test_property_no_live_overlap_under_random_ops(ops):
+    """Whatever the alloc/free sequence, live allocations never overlap."""
+    alloc, _ = make_allocator(size=1 << 17)
+    live = {}
+    for op, arg in ops:
+        if op == "alloc":
+            try:
+                off = alloc.alloc(arg)
+            except AllocationError:
+                continue
+            live[off] = arg
+        elif live:
+            keys = sorted(live)
+            victim = keys[arg % len(keys)]
+            alloc.free(victim)
+            del live[victim]
+    spans = sorted((off, off + size) for off, size in live.items())
+    for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+        assert end_a <= start_b
+    assert alloc.live_allocations == len(live)

@@ -1,0 +1,178 @@
+"""Unit tests for memory devices and flush/fence persistence semantics."""
+
+import random
+
+import pytest
+
+from repro.pm import CACHE_LINE, DRAMDevice, PMDevice
+from repro.sim import ExecutionContext
+
+
+class TestBasicIO:
+    def test_write_then_read_roundtrip(self):
+        dev = PMDevice(4096)
+        dev.write(100, b"hello pm")
+        assert dev.read(100, 8) == b"hello pm"
+
+    def test_out_of_bounds_access_rejected(self):
+        dev = PMDevice(1024)
+        with pytest.raises(IndexError):
+            dev.read(1020, 8)
+        with pytest.raises(IndexError):
+            dev.write(1024, b"x")
+        with pytest.raises(IndexError):
+            dev.read(-1, 4)
+
+    def test_zero_size_device_rejected(self):
+        with pytest.raises(ValueError):
+            PMDevice(0)
+
+
+class TestPersistenceSemantics:
+    def test_unflushed_write_lost_on_crash(self):
+        dev = PMDevice(4096)
+        dev.write(0, b"volatile!")
+        dev.crash()
+        assert dev.read(0, 9) == b"\x00" * 9
+
+    def test_flushed_and_fenced_write_survives_crash(self):
+        dev = PMDevice(4096)
+        dev.write(0, b"durable!")
+        dev.flush(0, 8)
+        dev.fence()
+        dev.crash()
+        assert dev.read(0, 8) == b"durable!"
+
+    def test_flush_without_fence_is_not_durable_by_default(self):
+        dev = PMDevice(4096)
+        dev.write(0, b"pending")
+        dev.flush(0, 7)
+        dev.crash()  # no rng: pending lines conservatively dropped
+        assert dev.read(0, 7) == b"\x00" * 7
+
+    def test_pending_lines_drain_probabilistically(self):
+        outcomes = set()
+        for seed in range(20):
+            dev = PMDevice(4096)
+            dev.write(0, b"x")
+            dev.flush(0, 1)
+            dev.crash(rng=random.Random(seed))
+            outcomes.add(dev.read(0, 1))
+        # Over 20 seeds both outcomes must appear.
+        assert outcomes == {b"x", b"\x00"}
+
+    def test_flush_snapshots_bytes_at_clwb_time(self):
+        dev = PMDevice(4096)
+        dev.write(0, b"AAAA")
+        dev.flush(0, 4)
+        dev.write(0, b"BBBB")  # after clwb, before sfence
+        dev.fence()
+        dev.crash()
+        # The fence drains the snapshot taken at clwb time ("AAAA");
+        # the later store was never written back.
+        assert dev.read(0, 4) == b"AAAA"
+
+    def test_persist_is_flush_plus_fence(self):
+        dev = PMDevice(4096)
+        dev.write(64, b"both")
+        dev.persist(64, 4)
+        dev.crash()
+        assert dev.read(64, 4) == b"both"
+
+    def test_is_durable_tracks_line_state(self):
+        dev = PMDevice(4096)
+        dev.write(0, b"z")
+        assert not dev.is_durable(0, 1)
+        dev.persist(0, 1)
+        assert dev.is_durable(0, 1)
+
+    def test_flush_charges_per_dirty_line(self):
+        dev = PMDevice(8192)
+        ctx = ExecutionContext()
+        dev.write(0, bytes(1024))  # 16 lines
+        lines = dev.flush(0, 1024, ctx)
+        assert lines == 1024 // CACHE_LINE
+        assert ctx.category("pm.flush") == pytest.approx(lines * dev.flush_line_ns)
+
+    def test_flush_of_clean_lines_is_free(self):
+        dev = PMDevice(4096)
+        ctx = ExecutionContext()
+        assert dev.flush(0, 1024, ctx) == 0
+        assert ctx.elapsed == 0.0
+
+    def test_crash_then_new_writes_work(self):
+        dev = PMDevice(4096)
+        dev.write(0, b"one")
+        dev.persist(0, 3)
+        dev.crash()
+        dev.write(3, b"two")
+        dev.persist(3, 3)
+        dev.crash()
+        assert dev.read(0, 6) == b"onetwo"
+
+    def test_persisted_view_reads_durable_image(self):
+        dev = PMDevice(4096)
+        dev.write(0, b"live")
+        assert dev.persisted_view(0, 4) == b"\x00" * 4
+        dev.persist(0, 4)
+        assert dev.persisted_view(0, 4) == b"live"
+
+
+class TestDRAM:
+    def test_dram_loses_everything_on_crash(self):
+        dev = DRAMDevice(1024)
+        dev.write(0, b"gone")
+        dev.flush(0, 4)
+        dev.fence()
+        dev.crash()
+        assert dev.read(0, 4) == b"\x00" * 4
+
+    def test_dram_flush_charges_nothing(self):
+        dev = DRAMDevice(1024)
+        ctx = ExecutionContext()
+        dev.write(0, b"data")
+        dev.flush(0, 4, ctx)
+        dev.fence(ctx)
+        assert ctx.elapsed == 0.0
+
+    def test_dram_is_faster_than_pm(self):
+        dram, pm = DRAMDevice(64), PMDevice(64)
+        c1, c2 = ExecutionContext(), ExecutionContext()
+        dram.charge_access(c1)
+        pm.charge_access(c2)
+        assert c1.elapsed < c2.elapsed
+
+
+class TestRegion:
+    def test_region_addressing_is_relative(self):
+        dev = PMDevice(4096)
+        region = dev.region(1024, 512, "r")
+        region.write(0, b"rel")
+        assert dev.read(1024, 3) == b"rel"
+        assert region.read(0, 3) == b"rel"
+
+    def test_region_bounds_enforced(self):
+        dev = PMDevice(4096)
+        region = dev.region(0, 128, "r")
+        with pytest.raises(IndexError):
+            region.write(120, b"123456789")
+
+    def test_region_persist_survives_crash(self):
+        dev = PMDevice(4096)
+        region = dev.region(2048, 256, "r")
+        region.write(10, b"keep")
+        region.persist(10, 4)
+        dev.crash()
+        assert region.read(10, 4) == b"keep"
+
+    def test_subregion_nests(self):
+        dev = PMDevice(4096)
+        outer = dev.region(1000, 1000, "outer")
+        inner = outer.subregion(500, 100, "inner")
+        inner.write(0, b"deep")
+        assert dev.read(1500, 4) == b"deep"
+
+    def test_global_offset_translation(self):
+        dev = PMDevice(4096)
+        region = dev.region(100, 100, "r")
+        assert region.global_offset(5) == 105

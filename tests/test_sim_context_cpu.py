@@ -1,0 +1,98 @@
+"""Unit tests for execution contexts and the CPU core model."""
+
+import pytest
+
+from repro.sim import Core, CpuSet, ExecutionContext, NULL_CONTEXT
+
+
+class TestExecutionContext:
+    def test_charges_accumulate(self):
+        ctx = ExecutionContext()
+        ctx.charge(100, "a")
+        ctx.charge(50, "b")
+        ctx.charge(25, "a")
+        assert ctx.elapsed == 175
+        assert ctx.category("a") == 125
+        assert ctx.category("b") == 50
+        assert ctx.category("missing") == 0.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionContext().charge(-1)
+
+    def test_merge_folds_categories(self):
+        a = ExecutionContext()
+        b = ExecutionContext()
+        a.charge(10, "x")
+        b.charge(20, "x")
+        b.charge(5, "y")
+        a.merge(b)
+        assert a.elapsed == 35
+        assert a.category("x") == 30
+        assert a.category("y") == 5
+
+    def test_trace_records_order(self):
+        ctx = ExecutionContext(trace=True)
+        ctx.charge(1, "a")
+        ctx.charge(2, "b")
+        assert ctx.trace == [("a", 1), ("b", 2)]
+
+    def test_snapshot_is_a_copy(self):
+        ctx = ExecutionContext()
+        ctx.charge(1, "a")
+        snap = ctx.snapshot()
+        ctx.charge(1, "a")
+        assert snap == {"a": 1}
+
+    def test_null_context_discards_everything(self):
+        NULL_CONTEXT.charge(1000, "x")
+        assert NULL_CONTEXT.elapsed == 0.0
+        assert NULL_CONTEXT.category("x") == 0.0
+        assert NULL_CONTEXT.snapshot() == {}
+
+
+class TestCore:
+    def test_idle_core_starts_immediately(self):
+        core = Core()
+        assert core.execute(now=100, cost=50) == 150
+        assert core.free_at == 150
+
+    def test_busy_core_queues_work(self):
+        core = Core()
+        core.execute(now=0, cost=100)
+        # Arrives at t=10 but the core is busy until 100.
+        assert core.execute(now=10, cost=50) == 150
+
+    def test_queue_delay(self):
+        core = Core()
+        core.execute(now=0, cost=100)
+        assert core.queue_delay(now=40) == 60
+        assert core.queue_delay(now=200) == 0.0
+
+    def test_busy_time_counts_only_work(self):
+        core = Core()
+        core.execute(now=0, cost=100)
+        core.execute(now=500, cost=100)
+        assert core.busy_time == 200
+        assert core.utilisation(elapsed=1000) == pytest.approx(0.2)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Core().execute(now=0, cost=-5)
+
+
+class TestCpuSet:
+    def test_round_robin_assignment(self):
+        cpus = CpuSet(3)
+        picks = [cpus.assign().index for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_requires_at_least_one_core(self):
+        with pytest.raises(ValueError):
+            CpuSet(0)
+
+    def test_total_busy_sums_cores(self):
+        cpus = CpuSet(2)
+        cpus[0].execute(0, 10)
+        cpus[1].execute(0, 20)
+        assert cpus.total_busy() == 30

@@ -1,0 +1,162 @@
+"""Unit + property tests for Bloom filters and the write-ahead log."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import ExecutionContext
+from repro.storage.blockdev import BlockDevice
+from repro.storage.bloom import BloomFilter
+from repro.storage.wal import WriteAheadLog
+
+
+class TestBloom:
+    def test_added_keys_always_found(self):
+        bloom = BloomFilter.for_entries(100)
+        keys = [f"key-{i}".encode() for i in range(100)]
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.might_contain(key) for key in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter.for_entries(1000, bits_per_key=10)
+        for i in range(1000):
+            bloom.add(f"present-{i}".encode())
+        false_hits = sum(
+            bloom.might_contain(f"absent-{i}".encode()) for i in range(2000)
+        )
+        # 10 bits/key gives ~1% FP; allow generous slack.
+        assert false_hits / 2000 < 0.05
+
+    def test_serialize_roundtrip(self):
+        bloom = BloomFilter.for_entries(50)
+        for i in range(50):
+            bloom.add(bytes([i]))
+        again = BloomFilter.deserialize(bloom.serialize())
+        assert again.nbits == bloom.nbits
+        assert again.nhashes == bloom.nhashes
+        for i in range(50):
+            assert again.might_contain(bytes([i]))
+
+    def test_truncated_serialization_rejected(self):
+        bloom = BloomFilter.for_entries(50)
+        with pytest.raises(ValueError):
+            BloomFilter.deserialize(bloom.serialize()[:10])
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 3)
+        with pytest.raises(ValueError):
+            BloomFilter(64, 0)
+
+    def test_fp_estimate_grows_with_load(self):
+        bloom = BloomFilter(256, 4)
+        assert bloom.false_positive_rate_estimate() == 0.0
+        for i in range(20):
+            bloom.add(bytes([i]))
+        low = bloom.false_positive_rate_estimate()
+        for i in range(20, 200):
+            bloom.add(bytes([i, i % 7]))
+        assert bloom.false_positive_rate_estimate() > low
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.sets(st.binary(min_size=1, max_size=32), max_size=200))
+def test_property_bloom_no_false_negatives(keys):
+    bloom = BloomFilter.for_entries(max(1, len(keys)))
+    for key in keys:
+        bloom.add(key)
+    assert all(bloom.might_contain(key) for key in keys)
+
+
+def make_wal(size=1 << 20):
+    dev = BlockDevice(1 << 21)
+    return WriteAheadLog(dev, 0, size), dev
+
+
+class TestWal:
+    def test_append_then_replay(self):
+        wal, dev = make_wal()
+        records = [b"first", b"second", b"third" * 100]
+        for record in records:
+            wal.append(record)
+        assert list(wal.replay()) == records
+
+    def test_replay_reads_only_synced_records(self):
+        wal, dev = make_wal()
+        wal.append(b"durable", sync=True)
+        wal.append(b"lost", sync=False)
+        dev.crash()
+        assert list(wal.replay()) == [b"durable"]
+
+    def test_torn_tail_discarded(self):
+        wal, dev = make_wal()
+        wal.append(b"good-record")
+        # Corrupt the durable image past the first record: garbage tail.
+        import struct
+
+        tail = wal.tail
+        dev.write(tail, struct.pack("<II", 10, 0xDEAD) + b"corrupted!")
+        dev.sync()
+        replayed = list(wal.replay())
+        assert replayed == [b"good-record"]
+
+    def test_reset_truncates(self):
+        wal, _ = make_wal()
+        wal.append(b"one")
+        wal.reset()
+        assert list(wal.replay()) == []
+        wal.append(b"two")
+        assert list(wal.replay()) == [b"two"]
+
+    def test_full_log_raises(self):
+        wal, _ = make_wal(size=64)
+        wal.append(b"x" * 30)
+        with pytest.raises(IOError):
+            wal.append(b"y" * 40)
+
+    def test_append_charges_write_and_sync(self):
+        wal, _ = make_wal()
+        ctx = ExecutionContext()
+        wal.append(b"data", ctx)
+        assert ctx.category("wal.write") > 0
+        assert ctx.category("wal.sync") > 0
+
+    def test_unaligned_extent_rejected(self):
+        dev = BlockDevice(1 << 20)
+        with pytest.raises(ValueError):
+            WriteAheadLog(dev, 100, 4096)
+
+
+class TestBlockDevice:
+    def test_write_read_roundtrip(self):
+        dev = BlockDevice(1 << 16)
+        dev.write(4096, b"block data")
+        assert dev.read(4096, 10) == b"block data"
+
+    def test_unsynced_writes_lost_on_crash(self):
+        dev = BlockDevice(1 << 16)
+        dev.write(0, b"volatile")
+        dev.crash()
+        assert dev.read(0, 8) == b"\x00" * 8
+
+    def test_synced_writes_survive(self):
+        dev = BlockDevice(1 << 16)
+        dev.write(0, b"durable!")
+        dev.sync()
+        dev.crash()
+        assert dev.read(0, 8) == b"durable!"
+
+    def test_costs_charged_per_block(self):
+        dev = BlockDevice(1 << 16)
+        ctx = ExecutionContext()
+        dev.write(0, bytes(8192), ctx)  # 2 blocks
+        assert ctx.category("blockdev.write") == pytest.approx(2 * dev.write_ns)
+        ctx2 = ExecutionContext()
+        dev.read(0, 4096, ctx2)
+        assert ctx2.category("blockdev.read") == pytest.approx(dev.read_ns)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            BlockDevice(1000)  # not a block multiple
+        with pytest.raises(ValueError):
+            BlockDevice(0)

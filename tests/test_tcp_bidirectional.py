@@ -1,0 +1,152 @@
+"""Bidirectional and concurrent TCP stress tests."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.costmodel import CostModel
+from repro.net.fabric import Fabric, LinkFaults
+from repro.net.stack import Host
+from repro.sim.engine import Simulator
+
+
+def make_pair(faults=None, client_cores=4):
+    sim = Simulator()
+    fabric = Fabric(sim, faults=faults)
+    server = Host(sim, "srv", "10.0.0.1", fabric, CostModel.paste(), cores=2)
+    client = Host(sim, "cli", "10.0.0.2", fabric, CostModel.kernel(),
+                  cores=client_cores)
+    return sim, server, client
+
+
+def test_simultaneous_bidirectional_streams():
+    """Both sides stream concurrently on one connection."""
+    sim, server, client = make_pair()
+    to_server = bytes(i % 256 for i in range(20_000))
+    to_client = bytes((i * 3) % 256 for i in range(15_000))
+    got_at_server = bytearray()
+    got_at_client = bytearray()
+
+    def on_accept(sock, ctx):
+        sock.on_data = lambda s, seg, c: got_at_server.extend(seg.bytes())
+        sock.send(to_client, ctx)
+
+    server.stack.listen(7000, on_accept)
+
+    def start(ctx):
+        sock = client.stack.connect("10.0.0.1", 7000, ctx)
+        sock.on_data = lambda s, seg, c: got_at_client.extend(seg.bytes())
+        sock.on_established = lambda s, c: s.send(to_server, c)
+
+    client.process_on_core(client.cpus[0], start)
+    sim.run_until_idle(max_events=2_000_000)
+    assert bytes(got_at_server) == to_server
+    assert bytes(got_at_client) == to_client
+
+
+def test_many_concurrent_connections_isolated():
+    """Data on one connection never leaks into another."""
+    sim, server, client = make_pair()
+    per_conn_rx = {}
+
+    def on_accept(sock, ctx):
+        sock.on_data = lambda s, seg, c: per_conn_rx.setdefault(
+            s.conn.remote_port, bytearray()
+        ).extend(seg.bytes())
+
+    server.stack.listen(7000, on_accept)
+    expected = {}
+
+    def start(ctx):
+        for i in range(12):
+            payload = f"conn-{i}:".encode() * (50 + i)
+            sock = client.stack.connect("10.0.0.1", 7000, ctx)
+            expected[sock.conn.local_port] = payload
+            sock.on_established = (
+                lambda s, c, data=payload: s.send(data, c)
+            )
+
+    client.process_on_core(client.cpus[0], start)
+    sim.run_until_idle(max_events=2_000_000)
+    assert len(per_conn_rx) == 12
+    for port, payload in expected.items():
+        assert bytes(per_conn_rx[port]) == payload
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 5000),
+    nconns=st.integers(1, 6),
+    loss=st.floats(0, 0.12),
+    reorder=st.floats(0, 0.2),
+    size=st.integers(1, 8000),
+)
+def test_property_concurrent_streams_under_faults(seed, nconns, loss, reorder, size):
+    """Every concurrent stream survives fabric chaos bit-exactly."""
+    faults = LinkFaults(random.Random(seed), loss=loss, reorder=reorder)
+    sim, server, client = make_pair(faults=faults)
+    received = {}
+
+    def on_accept(sock, ctx):
+        sock.on_data = lambda s, seg, c: received.setdefault(
+            s.conn.remote_port, bytearray()
+        ).extend(seg.bytes())
+
+    server.stack.listen(7000, on_accept)
+    expected = {}
+
+    def start(ctx):
+        for i in range(nconns):
+            payload = bytes((j * (i + 1) + seed) % 256 for j in range(size))
+            sock = client.stack.connect("10.0.0.1", 7000, ctx)
+            expected[sock.conn.local_port] = payload
+            sock.on_established = lambda s, c, data=payload: s.send(data, c)
+
+    client.process_on_core(client.cpus[0], start)
+    sim.run_until_idle(max_events=4_000_000)
+    for port, payload in expected.items():
+        assert bytes(received.get(port, b"")) == payload
+
+
+def test_interrupt_mode_adds_latency_but_stays_correct():
+    """Busy-polling (the paper's server config) vs interrupt wakeups."""
+
+    def echo_rtt(busy_poll):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        server = Host(sim, "srv", "10.0.0.1", fabric, CostModel.paste(),
+                      busy_poll=busy_poll, irq_latency_ns=2000.0)
+        client = Host(sim, "cli", "10.0.0.2", fabric, CostModel.kernel())
+
+        def on_accept(sock, ctx):
+            sock.on_data = lambda s, seg, c: s.send(seg.bytes(), c)
+
+        server.stack.listen(7000, on_accept)
+        times = {}
+
+        def start(ctx):
+            sock = client.stack.connect("10.0.0.1", 7000, ctx)
+
+            def on_data(s, seg, c):
+                client.call_at_completion(
+                    lambda t_end, cc: times.__setitem__("end", t_end)
+                )
+
+            sock.on_data = on_data
+
+            def on_established(s, c):
+                s.send(b"ping", c)
+                client.call_at_completion(
+                    lambda t_end, cc: times.__setitem__("start", t_end)
+                )
+
+            sock.on_established = on_established
+
+        client.process_on_core(client.cpus[0], start)
+        sim.run_until_idle()
+        return times["end"] - times["start"]
+
+    busy = echo_rtt(True)
+    irq = echo_rtt(False)
+    assert irq > busy  # interrupt wakeup costs latency
+    assert irq - busy < 10_000  # but only the modeled irq delay or so

@@ -1,0 +1,109 @@
+"""Tests for receive-window flow control and delayed ACKs."""
+
+from repro.bench.costmodel import CostModel
+from repro.net.fabric import Fabric
+from repro.net.stack import Host
+from repro.sim.engine import Simulator
+from repro.sim.units import MICROS
+
+
+def make_pair(server_rcv_wnd=None, server_delack=None):
+    sim = Simulator()
+    fabric = Fabric(sim)
+    server = Host(sim, "srv", "10.0.0.1", fabric, CostModel.paste(), cores=1)
+    client = Host(sim, "cli", "10.0.0.2", fabric, CostModel.kernel(), cores=2)
+    if server_rcv_wnd is not None:
+        server.stack.default_rcv_wnd = server_rcv_wnd
+    if server_delack is not None:
+        server.stack.delack_ns = server_delack
+    return sim, server, client
+
+
+def stream(sim, server, client, payload):
+    received = bytearray()
+    windows_seen = []
+
+    def on_accept(sock, ctx):
+        sock.on_data = lambda s, seg, c: received.extend(seg.bytes())
+
+    server.stack.listen(7000, on_accept)
+
+    def start(ctx):
+        sock = client.stack.connect("10.0.0.1", 7000, ctx)
+
+        def on_established(s, c):
+            windows_seen.append(s.conn.snd_wnd)
+            s.send(payload, c)
+
+        sock.on_established = on_established
+
+    client.process_on_core(client.cpus[0], start)
+    sim.run_until_idle(max_events=3_000_000)
+    return received, windows_seen
+
+
+class TestReceiveWindow:
+    def test_tiny_window_still_delivers_everything(self):
+        sim, server, client = make_pair(server_rcv_wnd=3000)
+        payload = bytes(i % 256 for i in range(50_000))
+        received, _ = stream(sim, server, client, payload)
+        assert bytes(received) == payload
+
+    def test_sender_learns_advertised_window(self):
+        sim, server, client = make_pair(server_rcv_wnd=4000)
+        payload = bytes(2000)
+        _received, windows = stream(sim, server, client, payload)
+        # The SYN-ACK advertised the server's 4000-byte ceiling.
+        assert windows == [4000]
+
+    def test_sender_never_exceeds_window_in_flight(self):
+        sim, server, client = make_pair(server_rcv_wnd=3000)
+        max_flight = {"value": 0}
+        original = Host.process_on_core
+
+        def spy(self, core, fn, start=None):
+            result = original(self, core, fn, start)
+            for conn in client.stack._connections.values():
+                max_flight["value"] = max(
+                    max_flight["value"], conn.snd_nxt - conn.snd_una
+                )
+            return result
+
+        Host.process_on_core = spy
+        try:
+            payload = bytes(20_000)
+            received, _ = stream(sim, server, client, payload)
+            assert len(received) == 20_000
+        finally:
+            Host.process_on_core = original
+        # Flight never exceeded the advertised 3000 bytes (+1 for FIN/SYN).
+        assert max_flight["value"] <= 3001
+
+
+class TestDelayedAck:
+    def test_one_way_stream_acks_coalesce(self):
+        """With delayed ACKs, a one-way stream generates far fewer pure
+        ACKs than segments (coalescing), yet delivers everything."""
+        quick_sim, quick_srv, quick_cli = make_pair()
+        payload = bytes(i % 256 for i in range(40_000))
+        stream(quick_sim, quick_srv, quick_cli, payload)
+        quick_acks = quick_srv.stack.stats["tx_packets"]
+
+        del_sim, del_srv, del_cli = make_pair(server_delack=400 * MICROS)
+        received, _ = stream(del_sim, del_srv, del_cli, payload)
+        delayed_acks = del_srv.stack.stats["tx_packets"]
+
+        assert bytes(received) == payload
+        assert delayed_acks < quick_acks
+
+    def test_delayed_ack_eventually_fires(self):
+        """A lone segment with nothing to piggyback still gets ACKed."""
+        sim, server, client = make_pair(server_delack=400 * MICROS)
+        payload = b"just one segment"
+        received, _ = stream(sim, server, client, payload)
+        assert bytes(received) == payload
+        # The sender's retransmission queue drained (its data was ACKed
+        # by the delayed timer, not by an RTO retransmission).
+        conn = next(iter(client.stack._connections.values()))
+        assert not conn.rtx_queue
+        assert conn.stats["retransmits"] == 0
