@@ -64,19 +64,25 @@ class Testbed:
 def make_testbed(engine="novelsm", server_features=None, client_features=None,
                  fabric_kwargs=None, pm_bytes=PM_BYTES, engine_kwargs=None,
                  paste=True, memtable_arena=48 << 20, transport="tcp",
-                 server_cores=1):
+                 server_cores=1, pm_device=None):
     """Build the two-host testbed with the requested storage engine.
 
     ``transport="homa"`` serves the same engine over the Homa-like
     message transport (§5.2) instead of HTTP-over-TCP.
     ``server_cores`` lifts the paper's one-core restriction for the
     multicore ablation (§3: more cores shift, not remove, the queues).
+    ``pm_device`` injects a pre-built persistent device (e.g. a
+    recording device from ``repro.testing``) in place of the default
+    Optane model; ``pm_bytes`` is ignored when it is given.
     """
     engine_kwargs = dict(engine_kwargs or {})
     sim = Simulator()
     fabric = Fabric(sim, **(fabric_kwargs or {}))
 
-    pm_device = PMDevice(pm_bytes, name="optane")
+    if pm_device is None:
+        pm_device = PMDevice(pm_bytes, name="optane")
+    elif not pm_device.persistent:
+        raise ValueError("injected pm_device must be persistent")
     pm_ns = PMNamespace(pm_device)
 
     rx_pool_region = None

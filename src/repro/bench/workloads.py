@@ -40,9 +40,15 @@ class ZipfianGenerator:
         self._zetan = self._zeta(nitems, theta)
         self._zeta2 = self._zeta(2, theta)
         self._alpha = 1.0 / (1.0 - theta)
-        self._eta = (1.0 - (2.0 / nitems) ** (1.0 - theta)) / (
-            1.0 - self._zeta2 / self._zetan
-        )
+        if nitems <= 2:
+            # zeta(n) == zeta(2) makes eta's denominator zero, but next()
+            # resolves every draw through its first two branches before
+            # eta is consulted (uz < zetan == 1 + 0.5**theta always).
+            self._eta = 0.0
+        else:
+            self._eta = (1.0 - (2.0 / nitems) ** (1.0 - theta)) / (
+                1.0 - self._zeta2 / self._zetan
+            )
 
     @staticmethod
     def _zeta(n, theta):

@@ -50,7 +50,7 @@ from repro.core.ppktbuf import (
 from repro.core.recovery import RecoveryReport
 from repro.net.nic import _tcp_checksum_of_frame
 from repro.net.headers import ETH_HEADER_LEN, IPV4_HEADER_LEN, IPv4Header
-from repro.sim.context import NULL_CONTEXT
+from repro.sim.context import NULL_CONTEXT, ExecutionContext
 from repro.storage.skiplist import COLD_LEVELS, HOT_VISIT_NS, _XorShift
 
 MAX_SEQ = 1 << 62
@@ -95,6 +95,7 @@ class PacketStore:
         """Rebuild from PM after a crash.  Returns (store, report)."""
         slab = PMetaSlab(region)
         report = RecoveryReport()
+        scan_ctx = ExecutionContext()
         head_slot = slab.read_root()
         store = cls(slab, pool, head_slot, 1, _XorShift(seed), verify_on_read)
         reachable = {head_slot}
@@ -104,12 +105,15 @@ class PacketStore:
         cursor = slab.read_next(head_slot, 0)
         while cursor:
             slot = cursor - 1
+            slab.region.charge_access(scan_ctx, 1, "recovery.scan")
             record = slab.valid_record(slot)
             if record is None or record.kind != KIND_NODE:
                 # Persist-before-link should make this impossible; drop
                 # the tail defensively and count it.
                 slab.write_next(prev, 0, 0, ctx)
                 report.discarded_records += 1
+                if record is None:
+                    report.crc_failures += 1
                 break
             reachable.add(slot)
             refs = store._adopt_frags(slot, record, slab, materialized, reachable, report)
@@ -123,18 +127,32 @@ class PacketStore:
         # Orphans: slots carrying a valid-looking record that nothing
         # reaches — allocations in flight at the crash.  They simply
         # return to the free list (their magic is left behind, but the
-        # free list never consults PM).
+        # free list never consults PM).  Their payload buffers, unless
+        # shared with a reachable record, likewise stay on the pool free
+        # list: those are the reclaimed buffers.
         magic_bytes = b"\x5e\x0f\x7b\x9c"  # RECORD_MAGIC little-endian
+        reclaimed = set()
         for slot in range(slab.nslots):
             if slot in reachable:
                 continue
-            if slab.region.read(slab.slot_base(slot), 4) == magic_bytes and \
-                    slab.valid_record(slot) is not None:
+            slab.region.charge_access(scan_ctx, 1, "recovery.scan")
+            if slab.region.read(slab.slot_base(slot), 4) != magic_bytes:
+                continue
+            record = slab.valid_record(slot)
+            if record is None:
+                report.crc_failures += 1
+            else:
                 report.discarded_records += 1
+                for buf_slot, _off, _length in record.frags:
+                    if buf_slot not in materialized:
+                        reclaimed.add(buf_slot)
         slab.adopt_reachable(reachable)
         report.max_seq = max_seq
         store._seq = max_seq + 1
         report.adopted_buffers = len(materialized)
+        report.reclaimed_buffers = len(reclaimed)
+        report.scan_cost_ns = scan_ctx.elapsed
+        ctx.merge(scan_ctx)
         return store, report
 
     def _adopt_frags(self, slot, record, slab, materialized, reachable, report):

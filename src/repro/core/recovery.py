@@ -14,11 +14,16 @@ class RecoveryReport:
     def __init__(self):
         #: Committed entries that survived (reachable + CRC-valid).
         self.recovered = 0
-        #: Metadata records discarded (unreachable or torn).
+        #: Metadata records discarded (unreachable-but-intact orphans,
+        #: i.e. allocations in flight at the crash).
         self.discarded_records = 0
+        #: Record slots whose magic was intact but whose CRC (or
+        #: structure) failed validation — torn metadata writes.
+        self.crc_failures = 0
         #: Packet-buffer slots re-adopted as live payload.
         self.adopted_buffers = 0
-        #: Packet-buffer slots returned to the pool.
+        #: Packet-buffer slots referenced only by discarded records —
+        #: they stay on the pool free list (returned to the pool).
         self.reclaimed_buffers = 0
         #: Highest sequence number seen (the store resumes after it).
         self.max_seq = 0
@@ -29,5 +34,6 @@ class RecoveryReport:
         return (
             f"<RecoveryReport recovered={self.recovered} "
             f"discarded={self.discarded_records} "
+            f"crc_failures={self.crc_failures} "
             f"buffers={self.adopted_buffers}+{self.reclaimed_buffers}r>"
         )

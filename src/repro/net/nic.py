@@ -193,7 +193,10 @@ class Nic:
         if self.features.hw_timestamps:
             pkt.hw_tstamp = self.host.sim.now
         if self.features.rx_csum_offload and len(frame) >= HEADERS_LEN:
-            field = _l4_csum_field(frame)
+            try:
+                field = _l4_csum_field(frame)
+            except ValueError:
+                field = None  # malformed headers: the stack drops the frame
             if field is not None:
                 computed = _l4_checksum_of_frame(frame)
                 pkt.wire_csum = field[1]

@@ -146,6 +146,7 @@ class NetworkStack:
         self._ephemeral = 40_000
         self.stats = {
             "rx_packets": 0, "rx_bad_csum": 0, "rx_no_socket": 0,
+            "rx_malformed": 0,
             "tx_packets": 0, "rst_sent": 0, "tapped": 0,
         }
 
@@ -267,7 +268,14 @@ class NetworkStack:
         pkt.pull(ETH_HEADER_LEN)
         self.costs.charge_ip_rx(ctx)
         raw_ip = pkt.payload_slice(0, IPV4_HEADER_LEN)
-        ip_header = IPv4Header.unpack(raw_ip)
+        try:
+            ip_header = IPv4Header.unpack(raw_ip)
+        except ValueError:
+            # Corrupted version/IHL nibble: a real stack drops the frame
+            # before it ever reaches checksum verification.
+            self.stats["rx_malformed"] += 1
+            pkt.release()
+            return
         if not ip_header.verify_checksum(raw_ip) or ip_header.proto != IPPROTO_TCP:
             pkt.release()
             return
@@ -276,7 +284,13 @@ class NetworkStack:
             pkt.trim(ip_header.total_len)
         pkt.l3_off = pkt.data_off
         pkt.pull(IPV4_HEADER_LEN)
-        tcp_header = TCPHeader.unpack(pkt.payload_slice(0, TCP_HEADER_LEN))
+        try:
+            tcp_header = TCPHeader.unpack(pkt.payload_slice(0, TCP_HEADER_LEN))
+        except ValueError:
+            # Corrupted data-offset nibble: drop, like a real stack.
+            self.stats["rx_malformed"] += 1
+            pkt.release()
+            return
         # Integrity: hardware-verified if the NIC offload did it, software
         # otherwise.  Bad checksums are dropped here, exactly like a real
         # stack, and show up as retransmissions.
@@ -363,8 +377,12 @@ class NetworkStack:
         if pkt.data_len < ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN:
             return self.host.cpus[0]
         raw = pkt.linear_bytes()
-        ip_header = IPv4Header.unpack(raw[ETH_HEADER_LEN:])
-        tcp_header = TCPHeader.unpack(raw[ETH_HEADER_LEN + IPV4_HEADER_LEN:])
+        try:
+            ip_header = IPv4Header.unpack(raw[ETH_HEADER_LEN:])
+            tcp_header = TCPHeader.unpack(raw[ETH_HEADER_LEN + IPV4_HEADER_LEN:])
+        except ValueError:
+            # Malformed headers can't be steered; rx() will drop them.
+            return self.host.cpus[0]
         key = (ip_header.dst, tcp_header.dst_port, ip_header.src, tcp_header.src_port)
         conn = self._connections.get(key)
         if conn is not None:

@@ -17,6 +17,8 @@ may or may not have drained.
 - fenced      — copied into the device's persistent image.
 """
 
+import types
+
 from repro.pm.constants import CACHE_LINE
 
 
@@ -83,12 +85,35 @@ class FlushTracker:
     def crash(self, persistent_image, rng=None, pending_persist_prob=0.5):
         """Power loss: dirty lines are gone; pending lines may drain.
 
-        With no ``rng``, pending lines are dropped (the conservative
-        outcome a correct recovery procedure must tolerate anyway).
+        With ``rng=None``, pending lines are dropped — the conservative
+        outcome a correct recovery procedure must tolerate anyway.  This
+        is a hard contract: ``rng=None`` must **never** fall back to
+        global (module-level) randomness, so that every crash test in
+        the suite is reproducible bit-for-bit from its seeds alone.
+        Callers who want probabilistic drain pass a *seeded* RNG
+        instance (``random.Random(seed)`` or any object with a
+        ``random()`` method); passing the ``random`` module itself is
+        rejected because its hidden global state defeats determinism.
+
+        Pending lines are visited in sorted line order, so a given
+        seeded RNG always produces the same drain decisions regardless
+        of the store/flush history that built the pending map.
         """
         if rng is not None:
-            for line, snapshot in self.pending.items():
+            if isinstance(rng, types.ModuleType) or not callable(getattr(rng, "random", None)):
+                raise TypeError(
+                    "crash() needs a seeded RNG instance with a random() "
+                    "method (e.g. random.Random(seed)), not "
+                    f"{rng!r} — global randomness would make crashes "
+                    "unreproducible"
+                )
+            if not 0.0 <= pending_persist_prob <= 1.0:
+                raise ValueError(
+                    f"pending_persist_prob must be in [0, 1], got {pending_persist_prob}"
+                )
+            for line in sorted(self.pending):
                 if rng.random() < pending_persist_prob:
+                    snapshot = self.pending[line]
                     start = line * self.line_size
                     persistent_image[start:start + len(snapshot)] = snapshot
         self.dirty.clear()

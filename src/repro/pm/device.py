@@ -79,8 +79,13 @@ class MemoryDevice:
         self.fence(ctx, category)
         return lines
 
-    def crash(self, rng=None):
-        """Power loss.  Volatile contents are zeroed."""
+    def crash(self, rng=None, pending_persist_prob=0.5):
+        """Power loss.  Volatile contents are zeroed.
+
+        ``rng``/``pending_persist_prob`` are accepted (and ignored) so
+        crash-injection code can power-cycle any device kind through one
+        signature.
+        """
         self.data = bytearray(self.size)
 
     def region(self, base, size, name=None):
@@ -144,8 +149,10 @@ class PMDevice(MemoryDevice):
         """Power loss: CPU-visible view reverts to what was persisted.
 
         Pending (written-back, unfenced) lines drain probabilistically
-        when an ``rng`` is supplied; see
-        :meth:`repro.pm.cache.FlushTracker.crash`.
+        when a **seeded** ``rng`` instance is supplied; with ``rng=None``
+        they are conservatively dropped and the crash is fully
+        deterministic — it never falls back to global randomness.  See
+        :meth:`repro.pm.cache.FlushTracker.crash` for the contract.
         """
         self.crashes += 1
         self.tracker.crash(self.persisted, rng, pending_persist_prob)

@@ -60,8 +60,16 @@ class ExecutionContext:
 class NullContext:
     """A context that discards all charges.  Use when timing is irrelevant."""
 
+    __slots__ = ()
+
     elapsed = 0.0
-    by_category = {}
+
+    @property
+    def by_category(self):
+        # A fresh dict per access: the shared NULL_CONTEXT must never
+        # expose mutable state that one caller's merge could leak into
+        # another's accounting.
+        return {}
 
     def charge(self, ns, category="uncategorized"):
         return 0.0

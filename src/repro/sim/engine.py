@@ -53,6 +53,41 @@ class Simulator:
         self.now = 0.0
         self._events_fired = 0
         self._running = False
+        self._watchers = []
+        self._stop_requested = False
+
+    # -- instrumentation ------------------------------------------------------
+
+    def add_watcher(self, fn):
+        """Register ``fn(event)`` to run after every fired event.
+
+        Watchers are how fault-injection harnesses observe a run without
+        perturbing it: a watcher can inspect cross-cutting state (e.g. a
+        recording device's persistence-event counter) and call
+        :meth:`stop` to halt the loop at a deterministic boundary.
+        Returns ``fn`` so it can be passed to :meth:`remove_watcher`.
+        """
+        self._watchers.append(fn)
+        return fn
+
+    def remove_watcher(self, fn):
+        """Unregister a watcher added with :meth:`add_watcher`."""
+        self._watchers.remove(fn)
+
+    def stop(self):
+        """Ask the current :meth:`run` to return after the current event.
+
+        Safe to call from an event handler or a watcher.  The queue is
+        left intact, so a later ``run()`` resumes exactly where this one
+        stopped — which is what makes crash points repeatable: stop at
+        event N, power-cycle the device, and every run with the same
+        seeds stops at the same instant.
+        """
+        self._stop_requested = True
+
+    def _notify(self, event):
+        for watcher in self._watchers:
+            watcher(event)
 
     def schedule(self, delay, fn, *args):
         """Schedule ``fn(*args)`` to run ``delay`` ns from now.
@@ -91,6 +126,7 @@ class Simulator:
             self.now = event.time
             self._events_fired += 1
             event.fn(*event.args)
+            self._notify(event)
             return True
         return False
 
@@ -107,6 +143,8 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        self._stop_requested = False
+        stopped = False
         fired = 0
         try:
             while self._queue:
@@ -123,9 +161,14 @@ class Simulator:
                 self._events_fired += 1
                 event.fn(*event.args)
                 fired += 1
+                self._notify(event)
+                if self._stop_requested:
+                    stopped = True
+                    break
         finally:
             self._running = False
-        if until is not None and self.now < until:
+            self._stop_requested = False
+        if until is not None and self.now < until and not stopped:
             self.now = until
         return fired
 

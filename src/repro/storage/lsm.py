@@ -47,7 +47,7 @@ class LSMStore:
     def __init__(self, arena_provider, arena_size, blockdev=None, wal=None,
                  memtable_limit=16 << 20, compaction=True, max_l0_tables=4,
                  level1_table_bytes=2 << 20, manifest_base=0,
-                 table_heap_base=0, seed=1):
+                 table_heap_base=0, seed=1, bootstrap=True):
         self._arena_provider = arena_provider
         self._arena_size = arena_size
         self.blockdev = blockdev
@@ -62,7 +62,10 @@ class LSMStore:
         self._free_arenas = []
         self._table_counter = 0
         self._table_cursor = table_heap_base
-        self.memtable = self._new_memtable()
+        # ``bootstrap=False`` skips creating (and thus re-initialising!)
+        # the first memtable arena — the reattach path after a crash
+        # assigns a recovered memtable instead.
+        self.memtable = self._new_memtable() if bootstrap else None
         self.immutable = None
         #: levels[0] is newest-first and may overlap; deeper levels are
         #: key-disjoint and sorted by first key.
@@ -379,3 +382,29 @@ def novelsm_store(pm_namespace, arena_size=48 << 20, blockdev=None,
         memtable_limit=memtable_limit, compaction=compaction,
         manifest_base=0, table_heap_base=table_heap, seed=seed,
     )
+
+
+def novelsm_reattach(pm_namespace, arena_size=48 << 20, seed=1,
+                     memtable_name="memtable-0"):
+    """Reattach a NoveLSM store to its persisted PM memtable.
+
+    The in-place :meth:`LSMStore.recover` only works on the live object
+    that existed before ``device.crash()``.  After a real power cycle
+    (or a fault-injection replay) all that exists is the device image:
+    this reopens the named memtable arena through the recovered
+    namespace **without re-initialising it** and rebuilds the skip list
+    from its persisted bytes.
+    """
+
+    def arena(name):
+        return pm_namespace.open_or_create(name, arena_size)
+
+    store = LSMStore(
+        arena, arena_size, blockdev=None, wal=None,
+        compaction=False, manifest_base=0, seed=seed, bootstrap=False,
+    )
+    region = pm_namespace.open(memtable_name)
+    store.memtable = RegionSkipList.recover(region, seed=seed + 1)
+    store._arena_counter = 1
+    store.count_recovered = store.memtable.count
+    return store

@@ -1,0 +1,108 @@
+"""Persistence-event taxonomy for crash-point fault injection.
+
+Every durability-relevant device operation is one numbered event in an
+:class:`EventTrace`.  The taxonomy mirrors what real PM/SSD hardware
+distinguishes:
+
+==============  ============================================================
+kind            meaning
+==============  ============================================================
+``write``       store into the CPU-visible view; its cache lines become
+                dirty (lost on crash until written back *and* fenced)
+``flush``       ``clwb``/``clflushopt`` — snapshot the covered dirty lines
+                into the write-pending queue (in limbo on crash)
+``fence``       ``sfence`` — drain every pending line into the
+                persistence domain (the only durability point)
+``blk.write``   block-device write into the volatile device cache
+``blk.sync``    ``fsync``/``fdatasync`` — the block-device durability point
+==============  ============================================================
+
+A *crash point* is a boundary between two events: "crash after event
+k" means events ``1..k`` executed and nothing after.  What the
+persistence domain holds at that boundary is not a single image —
+pending (written-back, unfenced) lines may drain in any subset — which
+is what the harness's ``clean``/``drain``/``torn``/``reorder`` modes
+enumerate (:mod:`repro.testing.harness`).
+"""
+
+EV_WRITE = "write"
+EV_FLUSH = "flush"
+EV_FENCE = "fence"
+EV_BLK_WRITE = "blk.write"
+EV_BLK_SYNC = "blk.sync"
+
+#: Trace kinds: which replay cursor understands the trace.
+TRACE_PM = "pm"
+TRACE_BLOCK = "block"
+
+
+class PersistenceEvent:
+    """One numbered durability-relevant device operation."""
+
+    __slots__ = ("index", "kind", "offset", "payload", "length", "time")
+
+    def __init__(self, index, kind, offset=0, payload=None, length=0, time=None):
+        self.index = index          # 1-based position in the trace
+        self.kind = kind
+        self.offset = offset
+        self.payload = payload      # bytes for write kinds, else None
+        self.length = length        # byte length for flush kinds
+        self.time = time            # simulated ns when recorded, if known
+
+    def __repr__(self):
+        if self.payload is not None:
+            span = f"[{self.offset}, {self.offset + len(self.payload)})"
+        elif self.length:
+            span = f"[{self.offset}, {self.offset + self.length})"
+        else:
+            span = ""
+        return f"<ev#{self.index} {self.kind}{span}>"
+
+
+class EventTrace:
+    """Ordered record of every persistence event a device saw.
+
+    ``setup_events`` marks the boundary between world construction
+    (formatting the namespace, writing store roots) and the workload
+    proper; sweeps start there by default, and crash points before it
+    may legitimately recover to "device not initialised".
+    """
+
+    def __init__(self, device_size, unit_size, kind=TRACE_PM):
+        self.device_size = device_size
+        #: Persistence granularity: cache-line size for PM traces,
+        #: block size for block-device traces.
+        self.unit_size = unit_size
+        self.kind = kind
+        self.events = []
+        self.setup_events = 0
+
+    def append(self, kind, offset=0, payload=None, length=0, time=None):
+        event = PersistenceEvent(
+            len(self.events) + 1, kind, offset, payload, length, time
+        )
+        self.events.append(event)
+        return event
+
+    def mark_setup_complete(self):
+        """Everything recorded so far was construction, not workload."""
+        self.setup_events = len(self.events)
+
+    def counts(self):
+        """Event-kind histogram, for reports."""
+        histogram = {}
+        for event in self.events:
+            histogram[event.kind] = histogram.get(event.kind, 0) + 1
+        return histogram
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __repr__(self):
+        return (
+            f"<EventTrace {len(self.events)} events "
+            f"({self.setup_events} setup) over {self.device_size}B>"
+        )

@@ -1,0 +1,141 @@
+"""Operation journal: what the application believed at every instant.
+
+The §5.1 durability contract is stated in terms of *acknowledged*
+operations: an acked write must survive any crash; an in-flight write
+may vanish, but only whole.  To check that contract at an arbitrary
+crash point, the harness needs to know — per persistence event — which
+operations had returned to the caller and which were mid-protocol.
+
+:class:`OpJournal` records exactly that.  A workload brackets every
+mutation::
+
+    op = journal.begin("put", key, value)   # before any device event
+    store.put(...)                          # emits persistence events
+    journal.commit(op)                      # after the caller saw success
+
+Each bracket captures the device's event counter, so "crash after
+event k" classifies every op with no scheduling ambiguity:
+
+- ``commit_event <= k``  — acked before the crash: must be durable,
+- ``begin_event  >= k``  — not yet started: must be invisible,
+- otherwise              — in flight: may surface whole or not at all.
+
+:meth:`OpJournal.expectations` turns that into per-key *allowed value
+sets* the oracles compare recovered state against.
+"""
+
+import itertools
+
+
+class _Absent:
+    """Sentinel: the key must not be visible (missing or tombstoned)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "<ABSENT>"
+
+
+ABSENT = _Absent()
+
+
+class Op:
+    """One journalled mutation."""
+
+    __slots__ = ("op_id", "kind", "key", "value", "begin_event", "commit_event")
+
+    def __init__(self, op_id, kind, key, value, begin_event):
+        self.op_id = op_id
+        self.kind = kind            # "put" | "delete" | anything workload-defined
+        self.key = key
+        self.value = value
+        self.begin_event = begin_event
+        self.commit_event = None
+
+    @property
+    def effect(self):
+        """The visible outcome of this op once applied."""
+        return ABSENT if self.kind == "delete" else self.value
+
+    def __repr__(self):
+        committed = self.commit_event if self.commit_event is not None else "?"
+        return (
+            f"<Op#{self.op_id} {self.kind} {self.key!r} "
+            f"events ({self.begin_event}, {committed}]>"
+        )
+
+
+class OpJournal:
+    """Sequential operation journal tied to a device event counter.
+
+    ``event_counter`` is a zero-argument callable returning the number
+    of persistence events recorded so far (e.g.
+    ``lambda: device.event_count``).
+    """
+
+    def __init__(self, event_counter):
+        self._counter = event_counter
+        self._ids = itertools.count()
+        self.ops = []
+
+    def begin(self, kind, key, value=None):
+        op = Op(next(self._ids), kind, key, value, self._counter())
+        self.ops.append(op)
+        return op
+
+    def commit(self, op):
+        if op.commit_event is not None:
+            raise RuntimeError(f"{op!r} committed twice")
+        op.commit_event = self._counter()
+        return op
+
+    def keys(self):
+        return {op.key for op in self.ops}
+
+    def committed(self, k):
+        """Ops acked at crash point ``k`` (all their events applied)."""
+        return [op for op in self.ops
+                if op.commit_event is not None and op.commit_event <= k]
+
+    def in_flight(self, k):
+        """Ops begun but not acked at crash point ``k``."""
+        return [op for op in self.ops
+                if op.begin_event < k
+                and (op.commit_event is None or op.commit_event > k)]
+
+    def expectations(self, k):
+        """key -> set of allowed recovered values at crash point ``k``.
+
+        Values are bytes (a put that may/must be visible) or
+        :data:`ABSENT`.  Keys no op ever touched before ``k`` map to
+        ``{ABSENT}``: recovery inventing them is a violation.
+        """
+        base = {}
+        optional = {}
+        for op in self.ops:
+            if op.commit_event is not None and op.commit_event <= k:
+                # Acked: its effect is the new definite state, and any
+                # earlier optional outcomes for the key are superseded.
+                base[op.key] = op.effect
+                optional.pop(op.key, None)
+            elif op.begin_event < k:
+                # In flight: its effect may or may not have committed.
+                optional.setdefault(op.key, set()).add(op.effect)
+        expect = {}
+        for key in self.keys():
+            allowed = {base.get(key, ABSENT)}
+            allowed.update(optional.get(key, ()))
+            expect[key] = allowed
+        return expect
+
+    def __len__(self):
+        return len(self.ops)
+
+    def __repr__(self):
+        done = sum(1 for op in self.ops if op.commit_event is not None)
+        return f"<OpJournal {done}/{len(self.ops)} ops committed>"

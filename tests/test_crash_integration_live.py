@@ -1,0 +1,90 @@
+"""Live-simulation crash scheduling: the full testbed on a recording
+device, stopped at an exact persistence-event boundary.
+
+The probabilistic integration tests (test_integration_crash.py) stop
+the world at wall-clock instants; here the crash point is pinned to the
+persistence-event sequence via ``run_until_persistence_events``, so a
+given (seed, target) pair always crashes the server at the same
+protocol step — reproducible by construction.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.testbed import PM_BYTES, make_testbed
+from repro.core.pktstore import PacketStore
+from repro.net.pool import BufferPool
+from repro.pm.namespace import PMNamespace
+from repro.testing import RecordingPMDevice, run_until_persistence_events
+
+from tests.test_integration_crash import TrackingClient
+
+
+def build_recording_testbed():
+    device = RecordingPMDevice(PM_BYTES, name="optane-rec")
+    testbed = make_testbed(engine="pktstore", pm_device=device)
+    device._clock = lambda: testbed.sim.now
+    return testbed, device
+
+
+def recover(device):
+    ns = PMNamespace.reopen(device)
+    pool = BufferPool(ns.open("paste-pktbufs"), 2048)
+    return PacketStore.recover(ns.open("pktstore-meta"), pool)
+
+
+@pytest.mark.parametrize("target_events", [120, 350, 550])
+def test_crash_pinned_to_persistence_event_boundary(target_events):
+    testbed, device = build_recording_testbed()
+    client = TrackingClient(testbed, total=60)
+    client.start()
+
+    stopped_at = run_until_persistence_events(
+        testbed.sim, device, target_events, until=50_000_000
+    )
+    assert stopped_at >= target_events
+
+    device.crash(rng=random.Random(target_events))
+    store, report = recover(device)
+    recovered = dict(store.scan())
+    for key, value in client.acked.items():
+        assert recovered.get(key) == value, f"acked {key!r} lost or torn"
+    for key, value in recovered.items():
+        assert client.attempted.get(key) == value
+    assert report.recovered == len(
+        {r.key for r in store.versions()}
+    )
+
+
+def test_event_pinned_stop_is_deterministic():
+    def run_once():
+        testbed, device = build_recording_testbed()
+        client = TrackingClient(testbed, total=40)
+        client.start()
+        stopped = run_until_persistence_events(
+            testbed.sim, device, 300, until=50_000_000
+        )
+        return stopped, testbed.sim.now, sorted(client.acked)
+
+    assert run_once() == run_once()
+
+
+def test_stop_does_not_warp_clock_to_until():
+    """Stopping early must leave ``sim.now`` at the stop event, not at
+    the ``until`` horizon — later phases resume from the true time."""
+    testbed, device = build_recording_testbed()
+    client = TrackingClient(testbed, total=30)
+    client.start()
+    run_until_persistence_events(testbed.sim, device, 100, until=50_000_000)
+    assert testbed.sim.now < 50_000_000
+
+
+def test_trace_event_times_follow_sim_clock():
+    testbed, device = build_recording_testbed()
+    client = TrackingClient(testbed, total=20)
+    client.start()
+    run_until_persistence_events(testbed.sim, device, 200, until=50_000_000)
+    times = [e.time for e in device.trace if e.time is not None]
+    assert times, "recording device should stamp events with sim time"
+    assert times == sorted(times)

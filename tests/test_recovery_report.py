@@ -1,0 +1,100 @@
+"""RecoveryReport accounting: every field is exercised and checked.
+
+The report is the recovery path's observability surface — reclaimed
+slots, CRC failures, re-adopted buffers.  These tests engineer each
+counter's trigger (clean recovery, an in-flight orphan record, a torn
+metadata write) and assert exact values.
+"""
+
+from repro.core.ppktbuf import FLAG_VALID, KIND_NODE, PPktRecord
+from repro.core.recovery import RecoveryReport
+from repro.testing import PacketStoreWorld, make_cursor, sequential_puts
+
+
+def drained_device(world, corrupt=None):
+    """Materialise the full-drain post-crash device for a world,
+    optionally flipping bytes first (``corrupt`` = list of offsets)."""
+    trace = world.device.trace
+    cursor = make_cursor(trace)
+    for event in trace:
+        cursor.apply(event)
+    image = cursor.crash_image(cursor.pending_units())
+    for offset in corrupt or ():
+        image[offset] ^= 0xFF
+    return cursor.materialize(image)
+
+
+def test_clean_recovery_report_fields():
+    world = PacketStoreWorld(seed=3)
+    sequential_puts(world, n=5, value_size=40)
+    recovered = world.recover(drained_device(world))
+    report = recovered.report
+    assert report.recovered == 5
+    assert report.adopted_buffers == 5       # one payload buffer per put
+    assert report.discarded_records == 0
+    assert report.crc_failures == 0
+    assert report.reclaimed_buffers == 0
+    assert report.max_seq == 5               # seq starts at 1
+    assert report.scan_cost_ns > 0           # the scan charges PM accesses
+    assert "crc_failures=0" in repr(report)
+
+
+def test_orphan_record_reclaims_slot_and_buffer():
+    """A record persisted but never linked — exactly what an in-flight
+    put leaves behind — must be discarded and its payload buffer
+    reclaimed, with both showing up in the report."""
+    world = PacketStoreWorld(seed=3)
+    sequential_puts(world, n=3, value_size=40)
+
+    buf = world.pool.alloc()
+    buf.write(0, b"orphan-payload")
+    slot = world.store.slab.alloc()
+    orphan = PPktRecord(
+        kind=KIND_NODE, flags=FLAG_VALID, height=1, key=b"orphan", seq=50,
+        value_len=14, frags=[(buf.slot, 0, 14)],
+    )
+    world.store.slab.write_record(slot, orphan)
+    world.meta_region.fence()
+
+    recovered = world.recover(drained_device(world))
+    report = recovered.report
+    assert report.recovered == 3
+    assert report.adopted_buffers == 3
+    assert report.discarded_records == 1     # the orphan slot
+    assert report.reclaimed_buffers == 1     # its unshared payload buffer
+    assert report.crc_failures == 0
+    assert report.max_seq == 3               # orphan seq must not leak in
+    # The orphan key is invisible and its buffer is allocatable again.
+    assert recovered.mapping().keys() == {b"key-0000", b"key-0001", b"key-0002"}
+    assert buf.slot not in recovered.pool._in_use
+
+
+def test_torn_metadata_write_counts_crc_failures():
+    """Flip one byte inside the first linked record (magic left intact):
+    recovery must truncate the chain there, count the CRC failure, and
+    reclaim everything that became unreachable."""
+    world = PacketStoreWorld(seed=3)
+    sequential_puts(world, n=3, value_size=40)
+    slab = world.store.slab
+    first_slot = slab.read_next(world.store.head_slot, 0) - 1
+    victim = world.meta_region.base + slab.slot_base(first_slot) + 16
+
+    recovered = world.recover(drained_device(world, corrupt=[victim]))
+    report = recovered.report
+    assert report.recovered == 0             # chain truncated at the head
+    assert report.crc_failures >= 1
+    assert report.discarded_records >= 2     # the two now-orphaned records
+    assert report.reclaimed_buffers == 2     # their payload buffers
+    assert report.adopted_buffers == 0
+    assert recovered.mapping() == {}
+
+
+def test_report_defaults_and_repr():
+    report = RecoveryReport()
+    assert report.recovered == 0
+    assert report.discarded_records == 0
+    assert report.crc_failures == 0
+    assert report.adopted_buffers == 0
+    assert report.reclaimed_buffers == 0
+    text = repr(report)
+    assert "recovered=0" in text and "crc_failures=0" in text
