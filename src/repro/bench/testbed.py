@@ -64,7 +64,8 @@ class Testbed:
 def make_testbed(engine="novelsm", server_features=None, client_features=None,
                  fabric_kwargs=None, pm_bytes=PM_BYTES, engine_kwargs=None,
                  paste=True, memtable_arena=48 << 20, transport="tcp",
-                 server_cores=1, pm_device=None):
+                 server_cores=1, pm_device=None,
+                 paste_pool_bytes=PASTE_POOL_BYTES, kv_kwargs=None):
     """Build the two-host testbed with the requested storage engine.
 
     ``transport="homa"`` serves the same engine over the Homa-like
@@ -74,8 +75,13 @@ def make_testbed(engine="novelsm", server_features=None, client_features=None,
     ``pm_device`` injects a pre-built persistent device (e.g. a
     recording device from ``repro.testing``) in place of the default
     Optane model; ``pm_bytes`` is ignored when it is given.
+    ``paste_pool_bytes`` sizes the PM packet pool — the overload tests
+    shrink it until a connection burst exhausts it.  ``kv_kwargs``
+    passes through to the KV server (``zero_copy_get``, ``overload``,
+    ``contain_errors``).
     """
     engine_kwargs = dict(engine_kwargs or {})
+    kv_kwargs = dict(kv_kwargs or {})
     sim = Simulator()
     fabric = Fabric(sim, **(fabric_kwargs or {}))
 
@@ -87,7 +93,7 @@ def make_testbed(engine="novelsm", server_features=None, client_features=None,
 
     rx_pool_region = None
     if paste:
-        rx_pool_region = pm_ns.create("paste-pktbufs", PASTE_POOL_BYTES)
+        rx_pool_region = pm_ns.create("paste-pktbufs", paste_pool_bytes)
 
     server = Host(
         sim, "server", SERVER_IP, fabric, CostModel.paste(), cores=server_cores,
@@ -104,9 +110,9 @@ def make_testbed(engine="novelsm", server_features=None, client_features=None,
     if transport == "homa":
         from repro.storage.kvserver import HomaKVServer
 
-        kv = HomaKVServer(server, store_engine, port=80)
+        kv = HomaKVServer(server, store_engine, port=80, **kv_kwargs)
     else:
-        kv = KVServer(server, store_engine, port=80)
+        kv = KVServer(server, store_engine, port=80, **kv_kwargs)
     return Testbed(sim, fabric, server, client, store_engine, kv, pm_device, pm_ns)
 
 

@@ -1,0 +1,245 @@
+"""Overload control for the serving path.
+
+The paper's proposal (§4) deliberately erases the boundary between the
+network stack's packet memory and the store's data memory: values live
+in the rx packet pool, index records in a PM slab, memtables in a PM
+arena.  The price of that coupling is that *one exhausted pool is now a
+storage outage* — and, symmetrically, a full store pins rx buffers
+until the NIC drops frames.  "Observations on Porting In-memory KV
+stores to PM" (PAPERS.md) documents exactly this failure class in
+naive PM ports.
+
+This module is the control layer that keeps exhaustion survivable:
+
+- **Pressure sources** — anything with ``under_pressure`` +
+  ``add_pressure_listener`` (``BufferPool``, ``PMAllocator``, and the
+  :class:`SlabPressure` adapter for :class:`~repro.core.ppktbuf.PMetaSlab`)
+  registers with :meth:`OverloadController.watch`.
+- **Admission control** — :meth:`OverloadController.admit` sheds (or,
+  optionally, defers) mutating requests while any source is pressured,
+  after first attempting reclamation.
+- **Emergency reclaim** — :meth:`OverloadController.relieve` runs the
+  registered reclaimers (PacketStore GC, LSM rotate+flush) to free
+  capacity off the request path.
+- **Degrade decisions** — :meth:`should_degrade_zero_copy` tells the
+  server to answer GETs from the copy path while pressured, so
+  responses don't take *new* long-lived references into the scarce
+  pool (a zero-copy response pins its frags in the retransmission
+  queue until the client ACKs).
+- **Failure → status mapping** — :func:`status_for_failure` is the
+  single place the status-code contract lives (docs/RESILIENCE.md):
+  503 for transient overload, 507 for a full store.
+"""
+
+from repro.core.ppktbuf import SlabExhausted
+from repro.net.pool import PoolExhausted
+from repro.pm.alloc import AllocationError
+from repro.sim.context import NULL_CONTEXT
+
+#: The status-code contract for resource exhaustion.
+OVERLOADED = 503      # transient: shed request / packet pool empty — retry
+STORAGE_FULL = 507    # durable state full: PM slab or arena exhausted
+
+#: Exception types the serving layer contains per-request instead of
+#: letting them unwind into TCP receive processing.
+CONTAINABLE = (PoolExhausted, SlabExhausted, AllocationError, MemoryError)
+
+
+def status_for_failure(exc):
+    """Map a resource-exhaustion failure to its HTTP status.
+
+    ``SlabExhausted``/``AllocationError`` mean persistent state is full
+    (507: retrying without deleting something cannot succeed);
+    ``PoolExhausted`` and any other ``MemoryError`` are transient
+    packet-memory shortages (503: retry after backoff).  Returns None
+    for exceptions outside the contract.
+    """
+    if isinstance(exc, (SlabExhausted, AllocationError)):
+        return STORAGE_FULL
+    if isinstance(exc, MemoryError):
+        return OVERLOADED
+    return None
+
+
+class SlabPressure:
+    """Watermark adapter giving :class:`PMetaSlab` the pressure protocol.
+
+    The slab is a fixed-slot allocator without listeners of its own;
+    this wraps it with the same hysteresis the pools implement.  Poll
+    via :meth:`update` (the overload controller does so on every
+    admission decision).
+    """
+
+    def __init__(self, slab, high_watermark=0.9, low_watermark=0.7):
+        if not 0.0 < low_watermark <= high_watermark <= 1.0:
+            raise ValueError("need 0 < low_watermark <= high_watermark <= 1")
+        self.slab = slab
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.under_pressure = False
+        self.pressure_events = 0
+        self._pressure_listeners = []
+
+    @property
+    def occupancy(self):
+        return self.slab.used / self.slab.nslots
+
+    def add_pressure_listener(self, callback):
+        self._pressure_listeners.append(callback)
+        return callback
+
+    def remove_pressure_listener(self, callback):
+        self._pressure_listeners.remove(callback)
+
+    def update(self):
+        occ = self.occupancy
+        if not self.under_pressure and occ >= self.high_watermark:
+            self.under_pressure = True
+            self.pressure_events += 1
+            for listener in self._pressure_listeners:
+                listener(self, True)
+        elif self.under_pressure and occ < self.low_watermark:
+            self.under_pressure = False
+            for listener in self._pressure_listeners:
+                listener(self, False)
+
+
+class OverloadController:
+    """Admission, reclamation and degrade decisions for one server.
+
+    Wire it up with :meth:`watch` (pressure sources) and
+    :meth:`add_reclaimer` (``fn(ctx) -> freed_count``); the KV servers
+    do this automatically for the host pools and their engine when
+    handed a controller.
+
+    ``max_deferred > 0`` parks shed requests in a bounded queue and
+    replays them when pressure clears instead of answering 503.
+    Deferral keeps the request's packet references alive while parked,
+    so it only helps when the pressured resource is *not* the rx pool
+    the request occupies — shedding is the safe default.
+    """
+
+    def __init__(self, sim=None, shed_on_pressure=True,
+                 degrade_zero_copy=True, reclaim_on_pressure=True,
+                 max_deferred=0):
+        self.sim = sim
+        self.shed_on_pressure = shed_on_pressure
+        self.degrade_zero_copy = degrade_zero_copy
+        self.reclaim_on_pressure = reclaim_on_pressure
+        self.max_deferred = max_deferred
+        self._sources = []
+        self._polled = []       # sources needing explicit update() polls
+        self._reclaimers = []
+        self._deferred = []
+        self._drain_scheduled = False
+        self.stats = {
+            "shed": 0, "deferred": 0, "replayed": 0, "reclaims": 0,
+            "reclaimed": 0, "pressure_transitions": 0,
+        }
+
+    # -- wiring ---------------------------------------------------------------
+
+    def watch(self, source):
+        """Subscribe to a pressure source (pool, arena, or adapter)."""
+        if source in self._sources:
+            return source
+        source.add_pressure_listener(self._on_pressure)
+        self._sources.append(source)
+        if hasattr(source, "update"):
+            self._polled.append(source)
+        return source
+
+    def watch_slab(self, slab, high_watermark=0.9, low_watermark=0.7):
+        """Convenience: wrap a :class:`PMetaSlab` and watch it."""
+        return self.watch(SlabPressure(slab, high_watermark, low_watermark))
+
+    def add_reclaimer(self, fn):
+        """Register an emergency reclaimer: ``fn(ctx) -> freed count``."""
+        if fn not in self._reclaimers:
+            self._reclaimers.append(fn)
+        return fn
+
+    def _on_pressure(self, source, pressured):
+        self.stats["pressure_transitions"] += 1
+        if not pressured and self._deferred:
+            self._schedule_drain()
+
+    # -- decisions ------------------------------------------------------------
+
+    @property
+    def under_pressure(self):
+        for source in self._polled:
+            source.update()
+        return any(source.under_pressure for source in self._sources)
+
+    def admit(self, ctx=NULL_CONTEXT):
+        """Admission decision for one mutating request.
+
+        Under pressure this first attempts emergency reclamation; only
+        if pressure persists is the request shed (False).  Callers that
+        prefer deferral use :meth:`try_defer` on a False return.
+        """
+        if not self.under_pressure:
+            return True
+        if self.reclaim_on_pressure:
+            self.relieve(ctx)
+            if not self.under_pressure:
+                return True
+        if self.shed_on_pressure:
+            self.stats["shed"] += 1
+            return False
+        return True
+
+    def should_degrade_zero_copy(self):
+        """True while GETs should answer from the copy path."""
+        return self.degrade_zero_copy and self.under_pressure
+
+    # -- reclamation ----------------------------------------------------------
+
+    def relieve(self, ctx=NULL_CONTEXT):
+        """Run every registered reclaimer once; returns items freed."""
+        self.stats["reclaims"] += 1
+        freed = 0
+        for reclaim in self._reclaimers:
+            freed += reclaim(ctx) or 0
+        self.stats["reclaimed"] += freed
+        return freed
+
+    # -- deferral -------------------------------------------------------------
+
+    def try_defer(self, thunk):
+        """Park ``thunk`` for replay when pressure clears.
+
+        Returns False (caller should shed) when deferral is disabled or
+        the queue is full.  The thunk must be self-contained: it re-runs
+        the request end to end, including releasing its references.
+        """
+        if self.max_deferred <= 0 or len(self._deferred) >= self.max_deferred:
+            return False
+        self._deferred.append(thunk)
+        self.stats["deferred"] += 1
+        return True
+
+    def _schedule_drain(self):
+        # Pressure listeners fire from inside allocator bookkeeping —
+        # never re-enter request processing from there.  Replay in a
+        # fresh simulation event (or lazily, at the next admit, when no
+        # simulator is attached).
+        if self.sim is None or self._drain_scheduled:
+            return
+        self._drain_scheduled = True
+        self.sim.schedule(0, self._drain_deferred)
+
+    def _drain_deferred(self):
+        self._drain_scheduled = False
+        while self._deferred and not self.under_pressure:
+            thunk = self._deferred.pop(0)
+            self.stats["replayed"] += 1
+            thunk()
+
+    def __repr__(self):
+        pressured = [s for s in self._sources if s.under_pressure]
+        return (
+            f"<OverloadController sources={len(self._sources)} "
+            f"pressured={len(pressured)} shed={self.stats['shed']}>"
+        )

@@ -46,6 +46,7 @@ from repro.core.ppktbuf import (
     MAX_HEIGHT,
     PMetaSlab,
     PPktRecord,
+    SlabExhausted,
 )
 from repro.core.recovery import RecoveryReport
 from repro.net.nic import _tcp_checksum_of_frame
@@ -221,8 +222,16 @@ class PacketStore:
         ``frag_refs`` is a list of ``(PacketBuffer, offset, length)``
         whose data references the caller has already taken (the store
         owns them from here on).  Nothing is copied.
+
+        Failure is transactional: if the metadata slab cannot hold the
+        record (``SlabExhausted``), every continuation slot already
+        taken is freed and every adopted payload reference released
+        before the exception propagates — an overloaded server answers
+        507 without leaking a single pool slot.
         """
         if not key:
+            for buf, _offset, _length in frag_refs:
+                buf.put()
             raise ValueError("empty keys are reserved")
         self.stats["puts"] += 1
         seq = self._seq
@@ -247,21 +256,33 @@ class PacketStore:
             (buf.slot, offset, length) for buf, offset, length in frag_refs
         ]
         cont_slot_plus1 = 0
-        extra = frag_tuples[INLINE_FRAGS:]
-        if extra:
-            self.stats["frag_chains"] += 1
-            chunks = [extra[i:i + INLINE_FRAGS] for i in range(0, len(extra), INLINE_FRAGS)]
-            for chunk in reversed(chunks):
-                cont = PPktRecord(
-                    kind=KIND_CONT, frags=chunk, cont=cont_slot_plus1,
-                    seq=seq, value_len=0,
-                )
-                slot = self.slab.alloc(ctx)
-                self.slab.write_record(slot, cont, ctx)
-                cont_slot_plus1 = slot + 1
+        cont_slots = []
+        try:
+            extra = frag_tuples[INLINE_FRAGS:]
+            if extra:
+                self.stats["frag_chains"] += 1
+                chunks = [extra[i:i + INLINE_FRAGS] for i in range(0, len(extra), INLINE_FRAGS)]
+                for chunk in reversed(chunks):
+                    cont = PPktRecord(
+                        kind=KIND_CONT, frags=chunk, cont=cont_slot_plus1,
+                        seq=seq, value_len=0,
+                    )
+                    slot = self.slab.alloc(ctx)
+                    cont_slots.append(slot)
+                    self.slab.write_record(slot, cont, ctx)
+                    cont_slot_plus1 = slot + 1
 
-        # 4. The node record itself, persisted before linking.
-        node_slot = self.slab.alloc(ctx)
+            # 4. The node record itself, persisted before linking.
+            node_slot = self.slab.alloc(ctx)
+        except SlabExhausted:
+            # Roll back: nothing is linked yet, so freeing the slots and
+            # dropping the payload references restores the pre-put state
+            # exactly (the burned seq is harmless — seqs only order).
+            for slot in cont_slots:
+                self.slab.free(slot, ctx)
+            for buf, _offset, _length in frag_refs:
+                buf.put()
+            raise
         record = PPktRecord(
             kind=KIND_NODE,
             flags=FLAG_VALID | (FLAG_TOMBSTONE if tombstone else 0),
@@ -485,6 +506,29 @@ class PacketStoreEngine:
         self.costs = costs
         self.puts = 0
         self.gets = 0
+        self.reclaims = 0
+
+    @property
+    def pressure_sources(self):
+        """Watchable sources beyond the host pools: the metadata slab.
+
+        (The payload pool *is* the host rx pool, which the server
+        watches directly.)
+        """
+        from repro.core.overload import SlabPressure
+
+        if not hasattr(self, "_slab_pressure"):
+            self._slab_pressure = SlabPressure(self.store.slab)
+        return (self._slab_pressure,)
+
+    def reclaim(self, ctx=NULL_CONTEXT):
+        """Emergency compaction: drop superseded versions and tombstones.
+
+        The overload controller calls this when a pool or the slab
+        crosses its high watermark; returns records reclaimed.
+        """
+        self.reclaims += 1
+        return self.store.gc(ctx)
 
     @classmethod
     def build(cls, server_host, pm_ns, meta_bytes=32 << 20,

@@ -16,6 +16,12 @@ store adopts the buffers directly.
 HEADER_END = b"\r\n\r\n"
 MAX_HEADER = 8192
 
+#: Largest body a request may declare.  A Content-Length beyond this
+#: would pin more packet buffers than any legitimate request needs, so
+#: the parser rejects it up front (the server answers 400) instead of
+#: letting one absurd header drain the rx pool.
+MAX_BODY = 8 << 20
+
 
 class HttpError(ValueError):
     """Malformed HTTP traffic."""
@@ -104,7 +110,9 @@ def build_request(method, path, body=b""):
 
 def build_response(status, body=b"", extra_headers=None):
     """Serialize a response."""
-    reason = {200: "OK", 201: "Created", 404: "Not Found", 500: "Internal Server Error"}
+    reason = {200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+              500: "Internal Server Error", 503: "Service Unavailable",
+              507: "Insufficient Storage"}
     lines = [f"HTTP/1.1 {status} {reason.get(status, 'Unknown')}"]
     for key, value in (extra_headers or {}).items():
         lines.append(f"{key}: {value}")
@@ -135,24 +143,32 @@ class HttpParser:
             costs.charge_http_parse(ctx, segment.length)
         completed = []
         offset = 0
-        while offset < segment.length:
-            if self._message is None:
-                offset = self._feed_head(segment, offset)
+        try:
+            while offset < segment.length:
                 if self._message is None:
-                    break  # headers still incomplete; wait for more
+                    offset = self._feed_head(segment, offset)
+                    if self._message is None:
+                        break  # headers still incomplete; wait for more
+                    if self._body_remaining == 0:
+                        completed.append(self._finish(segment))
+                        continue
+                take = min(self._body_remaining, segment.length - offset)
+                if take > 0:
+                    segment.retain()
+                    self._message.body_slices.append(BodySlice(segment, offset, take))
+                    self._body_remaining -= take
+                    offset += take
                 if self._body_remaining == 0:
                     completed.append(self._finish(segment))
-                    continue
-            take = min(self._body_remaining, segment.length - offset)
-            if take > 0:
-                segment.retain()
-                self._message.body_slices.append(BodySlice(segment, offset, take))
-                self._body_remaining -= take
-                offset += take
-            if self._body_remaining == 0:
-                completed.append(self._finish(segment))
-            else:
-                break
+                else:
+                    break
+        except HttpError:
+            # Pipelined garbage after well-formed requests: release the
+            # completed messages' packet references before propagating,
+            # so a parse error is leak-free (the caller resets us).
+            for message in completed:
+                message.release()
+            raise
         return completed
 
     def _finish(self, segment):
@@ -178,8 +194,36 @@ class HttpParser:
         header_block = bytes(self._head[:end])
         self._head = bytearray()
         self._message = self._parse_head(header_block)
-        self._body_remaining = int(self._message.headers.get("content-length", "0"))
+        self._body_remaining = self._content_length(self._message)
         return offset + consumed_now
+
+    @staticmethod
+    def _content_length(message):
+        raw = message.headers.get("content-length", "0")
+        try:
+            length = int(raw)
+        except ValueError:
+            raise HttpError(f"unparseable Content-Length {raw!r}") from None
+        if length < 0:
+            raise HttpError(f"negative Content-Length {length}")
+        if length > MAX_BODY:
+            raise HttpError(
+                f"Content-Length {length} exceeds the {MAX_BODY}-byte limit"
+            )
+        return length
+
+    def reset(self):
+        """Drop partial-parse state (and its packet references).
+
+        Call after :meth:`feed` raises: a half-assembled message may
+        already hold retained body slices, and the stream position is
+        unrecoverable — the server answers 400 and closes.
+        """
+        if self._message is not None:
+            self._message.release()
+            self._message = None
+        self._head = bytearray()
+        self._body_remaining = 0
 
     def _parse_head(self, block):
         lines = block.decode("ascii", errors="replace").split("\r\n")
@@ -187,9 +231,14 @@ class HttpParser:
         if self.is_response:
             if len(parts) < 2 or not parts[0].startswith("HTTP/"):
                 raise HttpError(f"bad status line {lines[0]!r}")
-            message = HttpMessage(status=int(parts[1]))
+            try:
+                status = int(parts[1])
+            except ValueError:
+                raise HttpError(f"bad status line {lines[0]!r}") from None
+            message = HttpMessage(status=status)
         else:
-            if len(parts) != 3:
+            if len(parts) != 3 or not parts[2].startswith("HTTP/") \
+                    or not parts[0] or not parts[1]:
                 raise HttpError(f"bad request line {lines[0]!r}")
             message = HttpMessage(method=parts[0], path=parts[1])
         for line in lines[1:]:

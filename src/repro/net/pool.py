@@ -87,11 +87,23 @@ class PacketBuffer:
 
 
 class BufferPool:
-    """Fixed-slot allocator over a region; LIFO free list for cache warmth."""
+    """Fixed-slot allocator over a region; LIFO free list for cache warmth.
 
-    def __init__(self, region, slot_size=2048, name=None):
+    Occupancy watermarks make the pool a *pressure signal* for the
+    serving layer (``repro.core.overload``): crossing ``high_watermark``
+    (fraction of slots in use) raises :attr:`under_pressure`, dropping
+    back below ``low_watermark`` clears it, and registered listeners
+    fire on each transition.  Storage that adopts packet buffers turns
+    pool exhaustion into a storage outage — the watermarks exist so the
+    server can shed or reclaim *before* the NIC starts dropping frames.
+    """
+
+    def __init__(self, region, slot_size=2048, name=None,
+                 high_watermark=0.9, low_watermark=0.7):
         if slot_size <= 0:
             raise ValueError("slot size must be positive")
+        if not 0.0 < low_watermark <= high_watermark <= 1.0:
+            raise ValueError("need 0 < low_watermark <= high_watermark <= 1")
         self.region = region
         self.slot_size = slot_size
         self.name = name or f"pool:{region.name}"
@@ -105,6 +117,12 @@ class BufferPool:
         self.allocs = 0
         self.frees = 0
         self.high_water = 0
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.under_pressure = False
+        self.pressure_events = 0
+        self.exhaustions = 0
+        self._pressure_listeners = []
 
     @property
     def persistent(self):
@@ -118,15 +136,42 @@ class BufferPool:
     def available(self):
         return len(self._free)
 
+    @property
+    def occupancy(self):
+        """Fraction of slots currently in use (0.0 — 1.0)."""
+        return len(self._in_use) / self.nslots
+
+    def add_pressure_listener(self, callback):
+        """``callback(pool, under_pressure)`` fires on watermark crossings."""
+        self._pressure_listeners.append(callback)
+        return callback
+
+    def remove_pressure_listener(self, callback):
+        self._pressure_listeners.remove(callback)
+
+    def _update_pressure(self):
+        occ = self.occupancy
+        if not self.under_pressure and occ >= self.high_watermark:
+            self.under_pressure = True
+            self.pressure_events += 1
+            for listener in self._pressure_listeners:
+                listener(self, True)
+        elif self.under_pressure and occ < self.low_watermark:
+            self.under_pressure = False
+            for listener in self._pressure_listeners:
+                listener(self, False)
+
     def alloc(self):
         """Take a slot; returns a fresh :class:`PacketBuffer` with refcount 1."""
         if not self._free:
+            self.exhaustions += 1
             raise PoolExhausted(f"{self.name}: all {self.nslots} slots in use")
         slot = self._free.pop()
         self._in_use.add(slot)
         self.allocs += 1
         if len(self._in_use) > self.high_water:
             self.high_water = len(self._in_use)
+        self._update_pressure()
         return PacketBuffer(self, slot, slot * self.slot_size, self.slot_size)
 
     def _release(self, slot):
@@ -135,6 +180,7 @@ class BufferPool:
         self._in_use.remove(slot)
         self._free.append(slot)
         self.frees += 1
+        self._update_pressure()
 
     def slot_region_base(self, slot):
         """Region-local base offset of a slot (used by recovery scans)."""
@@ -151,6 +197,7 @@ class BufferPool:
             raise RuntimeError(f"slot {slot} already materialised")
         self._free.remove(slot)
         self._in_use.add(slot)
+        self._update_pressure()
         return PacketBuffer(self, slot, slot * self.slot_size, self.slot_size)
 
     def __repr__(self):

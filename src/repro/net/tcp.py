@@ -25,6 +25,7 @@ import enum
 
 from repro.net.headers import ACK, FIN, PSH, RST, SYN, TCPHeader
 from repro.net.pktbuf import PktBuf
+from repro.net.pool import PoolExhausted
 from repro.net.rbtree import RBTree
 from repro.sim.units import MICROS, MILLIS
 
@@ -50,6 +51,16 @@ INITIAL_RTO = 20 * MILLIS
 TIME_WAIT_NS = 4 * MILLIS
 
 MAX_RETRIES = 12
+
+
+class SendQueueFull(BufferError):
+    """The connection's bounded send queue cannot accept more data.
+
+    Raised *before* anything is enqueued or referenced, so the caller
+    can shed cleanly (the stream stays consistent).  Bounding the queue
+    is what keeps a stalled receiver from pinning unbounded buffer
+    references behind a closed congestion window.
+    """
 
 
 class TcpState(enum.Enum):
@@ -153,6 +164,11 @@ class TcpConnection:
         self.snd_nxt = iss
         self.snd_wnd = MAX_RCV_WND
         self.send_queue = []
+        self.send_queue_bytes = 0
+        #: Bound on queued-but-unsent bytes; None = unbounded (historic
+        #: behaviour).  Stacks set ``send_queue_limit`` to protect their
+        #: tx pool from slow or stuck receivers.
+        self.send_queue_limit = getattr(stack, "send_queue_limit", None)
         self.rtx_queue = []
         self.cwnd = INITIAL_CWND_SEGMENTS * MSS
         self.ssthresh = 1 << 30
@@ -189,7 +205,7 @@ class TcpConnection:
             "tx_segments": 0, "rx_segments": 0, "retransmits": 0,
             "fast_retransmits": 0, "rto_fires": 0, "ooo_queued": 0,
             "dup_segments": 0, "bytes_sent": 0, "bytes_delivered": 0,
-            "bad_csum": 0,
+            "bad_csum": 0, "send_queue_rejects": 0, "tx_pool_aborts": 0,
         }
 
     # ------------------------------------------------------------------ basics
@@ -261,6 +277,15 @@ class TcpConnection:
         for entry in self.rtx_queue:
             entry.clone.release()
         self.rtx_queue.clear()
+        # Unsent zero-copy items still hold data references taken in
+        # send_buffer(); dropping them here is what makes teardown (FIN
+        # or RST, graceful or not) leak-free — before this, a client
+        # reset mid-response pinned the queued buffers forever.
+        for item in self.send_queue:
+            if item.buf is not None:
+                item.buf.put()
+        self.send_queue.clear()
+        self.send_queue_bytes = 0
         while self.ooo:
             _, (pkt, _off, _length) = self.ooo.pop_min()
             pkt.release()
@@ -279,7 +304,9 @@ class TcpConnection:
             raise RuntimeError(f"send in state {self.state}")
         if self.fin_pending:
             raise RuntimeError("send after close")
+        self._check_send_room(len(data))
         self.send_queue.append(_SendItem(data=bytes(data)))
+        self.send_queue_bytes += len(data)
         if not more:
             self.output(ctx)
 
@@ -294,10 +321,22 @@ class TcpConnection:
             raise RuntimeError(f"send in state {self.state}")
         if self.fin_pending:
             raise RuntimeError("send after close")
+        self._check_send_room(length)
         buf.get()
         self.send_queue.append(_SendItem(buf=buf, offset=offset, length=length))
+        self.send_queue_bytes += length
         if not more:
             self.output(ctx)
+
+    def _check_send_room(self, length):
+        if self.send_queue_limit is None:
+            return
+        if self.send_queue_bytes + length > self.send_queue_limit:
+            self.stats["send_queue_rejects"] += 1
+            raise SendQueueFull(
+                f"send queue at {self.send_queue_bytes}B; "
+                f"+{length}B exceeds the {self.send_queue_limit}B limit"
+            )
 
     def output(self, ctx):
         """Transmit whatever the window allows from the send queue."""
@@ -305,23 +344,32 @@ class TcpConnection:
                               TcpState.FIN_WAIT_1, TcpState.CLOSING, TcpState.LAST_ACK):
             return
         sent_any = False
-        while self.send_queue:
-            window = self._send_window() - self._flight_size()
-            if window <= 0:
-                break
-            payload_items, length = self._gather(min(self.mss, window))
-            if length == 0:
-                break
-            self._emit_segment(
-                ctx, flags=ACK | PSH, seq=self.snd_nxt,
-                seqlen=length, payload_items=payload_items,
-            )
-            self.snd_nxt += length
-            self.stats["bytes_sent"] += length
-            sent_any = True
-        if self.fin_pending and not self.send_queue and self.fin_seq is None:
-            self._send_fin(ctx)
-            sent_any = True
+        try:
+            while self.send_queue:
+                window = self._send_window() - self._flight_size()
+                if window <= 0:
+                    break
+                payload_items, length = self._gather(min(self.mss, window))
+                if length == 0:
+                    break
+                self._emit_segment(
+                    ctx, flags=ACK | PSH, seq=self.snd_nxt,
+                    seqlen=length, payload_items=payload_items,
+                )
+                self.snd_nxt += length
+                self.stats["bytes_sent"] += length
+                sent_any = True
+            if self.fin_pending and not self.send_queue and self.fin_seq is None:
+                self._send_fin(ctx)
+                sent_any = True
+        except PoolExhausted:
+            # The tx pool ran dry mid-stream.  The gathered bytes are
+            # gone from the queue, so the byte stream can no longer be
+            # kept consistent — reset the connection rather than corrupt
+            # it.  output() is called from ACK processing and timers, so
+            # this must be contained here, not in the application.
+            self._abort_on_exhaustion(ctx)
+            return
         if sent_any:
             self._arm_rto()
 
@@ -345,7 +393,21 @@ class TcpConnection:
                 if head.length == 0:
                     self.send_queue.pop(0)
             total += take
+        self.send_queue_bytes -= total
         return items, total
+
+    def _abort_on_exhaustion(self, ctx):
+        """RST the peer if a tx buffer exists for it; vanish otherwise."""
+        self.stats["tx_pool_aborts"] += 1
+        if self.on_reset is not None:
+            self.on_reset(self)
+        try:
+            self.abort(ctx)
+        except PoolExhausted:
+            # Not even one buffer for the RST: silent teardown; the
+            # peer's retransmissions will be answered with stateless
+            # RSTs once the pool recovers.
+            self._teardown()
 
     def _send_fin(self, ctx):
         self.fin_seq = self.snd_nxt
@@ -366,31 +428,45 @@ class TcpConnection:
         ``(None, bytes, length)`` (copied into the linear area).
         """
         payload_items = payload_items or []
-        pkt = PktBuf.alloc(self.stack.tx_pool, headroom=self.stack.tx_headroom)
-        self.stack.costs.charge_pktbuf_alloc(ctx)
-        payload_len = 0
-        for buf, data_or_off, length in payload_items:
-            if buf is None:
-                # Copied bytes fill the linear area first; a jumbo (GSO)
-                # segment spills into freshly-allocated frag pages, the
-                # way the kernel builds >MTU skbs for TSO.
-                self.stack.costs.charge_copy_to_skb(ctx, length)
-                data = data_or_off
-                take = min(len(data), pkt.tailroom)
-                if take:
-                    pkt.append(data[:take])
-                cursor = take
-                while cursor < len(data):
-                    page = self.stack.tx_pool.alloc()
-                    chunk = data[cursor:cursor + page.size]
-                    page.write(0, chunk)
-                    pkt.add_frag(page, 0, len(chunk))
-                    page.put()  # the frag holds its own reference
-                    cursor += len(chunk)
-            else:
-                pkt.add_frag(buf, data_or_off, length)
-                buf.put()  # frag took its own ref; drop the gather ref
-            payload_len += length
+        pkt = None
+        consumed = 0
+        try:
+            pkt = PktBuf.alloc(self.stack.tx_pool, headroom=self.stack.tx_headroom)
+            self.stack.costs.charge_pktbuf_alloc(ctx)
+            payload_len = 0
+            for buf, data_or_off, length in payload_items:
+                if buf is None:
+                    # Copied bytes fill the linear area first; a jumbo (GSO)
+                    # segment spills into freshly-allocated frag pages, the
+                    # way the kernel builds >MTU skbs for TSO.
+                    self.stack.costs.charge_copy_to_skb(ctx, length)
+                    data = data_or_off
+                    take = min(len(data), pkt.tailroom)
+                    if take:
+                        pkt.append(data[:take])
+                    cursor = take
+                    while cursor < len(data):
+                        page = self.stack.tx_pool.alloc()
+                        chunk = data[cursor:cursor + page.size]
+                        page.write(0, chunk)
+                        pkt.add_frag(page, 0, len(chunk))
+                        page.put()  # the frag holds its own reference
+                        cursor += len(chunk)
+                else:
+                    pkt.add_frag(buf, data_or_off, length)
+                    buf.put()  # frag took its own ref; drop the gather ref
+                consumed += 1
+                payload_len += length
+        except PoolExhausted:
+            # Leak-free unwind: drop the half-built packet (releasing
+            # the frag references it took) and the gather references of
+            # items not yet consumed, then let the caller decide.
+            if pkt is not None:
+                pkt.release()
+            for buf, _data_or_off, _length in payload_items[consumed:]:
+                if buf is not None:
+                    buf.put()
+            raise
         ack_flag = bool(flags & ACK)
         header = TCPHeader(
             self.local_port, self.remote_port,

@@ -48,7 +48,18 @@ def _align(n):
 
 
 class PMAllocator:
-    """First-fit free-list allocator with crash-recoverable metadata."""
+    """First-fit free-list allocator with crash-recoverable metadata.
+
+    Like the packet pools, the arena is a *pressure signal*: crossing
+    ``high_watermark`` of usable bytes sets :attr:`under_pressure` and
+    fires registered listeners; falling below ``low_watermark`` clears
+    it.  The serving layer uses this to trigger emergency reclamation
+    before an :class:`AllocationError` lands on a request's critical
+    path.
+    """
+
+    HIGH_WATERMARK = 0.9
+    LOW_WATERMARK = 0.7
 
     def __init__(self, region, alloc_ns=ALLOC_NS, free_ns=FREE_NS,
                  charge_category="pm.alloc", persist_category="persist"):
@@ -62,6 +73,7 @@ class PMAllocator:
         #: offset -> payload size for live allocations.  Volatile cache.
         self._live = {}
         self._heap_end = HEAP_BASE
+        self._init_pressure()
         self._write_heap_end(NULL_CONTEXT)
 
     @classmethod
@@ -81,7 +93,45 @@ class PMAllocator:
         alloc._holes = []
         alloc._live = {}
         alloc._heap_end = HEAP_BASE
+        alloc._init_pressure()
         return alloc
+
+    # -- pressure signals ----------------------------------------------------
+
+    def _init_pressure(self):
+        self.high_watermark = self.HIGH_WATERMARK
+        self.low_watermark = self.LOW_WATERMARK
+        self.under_pressure = False
+        self.pressure_events = 0
+        self.allocation_failures = 0
+        self._pressure_listeners = []
+
+    def occupancy(self):
+        """Fraction of usable arena bytes currently allocated (0.0 — 1.0)."""
+        usable = self.region.size - HEAP_BASE
+        if usable <= 0:
+            return 1.0
+        return min(1.0, self.used_bytes() / usable)
+
+    def add_pressure_listener(self, callback):
+        """``callback(allocator, under_pressure)`` fires on watermark crossings."""
+        self._pressure_listeners.append(callback)
+        return callback
+
+    def remove_pressure_listener(self, callback):
+        self._pressure_listeners.remove(callback)
+
+    def _update_pressure(self):
+        occ = self.occupancy()
+        if not self.under_pressure and occ >= self.high_watermark:
+            self.under_pressure = True
+            self.pressure_events += 1
+            for listener in self._pressure_listeners:
+                listener(self, True)
+        elif self.under_pressure and occ < self.low_watermark:
+            self.under_pressure = False
+            for listener in self._pressure_listeners:
+                listener(self, False)
 
     # -- persistence helpers -------------------------------------------------
 
@@ -116,6 +166,7 @@ class PMAllocator:
         if block_off is None:
             block_off = self._heap_end
             if block_off + need > self.region.size:
+                self.allocation_failures += 1
                 raise AllocationError(
                     f"{self.region.name}: cannot allocate {size} bytes "
                     f"(heap_end={self._heap_end}, size={self.region.size})"
@@ -127,6 +178,7 @@ class PMAllocator:
             self._write_header(block_off, size, FLAG_LIVE, ctx)
         payload_off = block_off + HEADER_SIZE
         self._live[payload_off] = size
+        self._update_pressure()
         return payload_off
 
     def free(self, payload_off, ctx=NULL_CONTEXT):
@@ -138,6 +190,7 @@ class PMAllocator:
         block_off = payload_off - HEADER_SIZE
         self._write_header(block_off, size, FLAG_FREE, ctx)
         self._insert_hole(block_off, HEADER_SIZE + _align(size))
+        self._update_pressure()
 
     def usable_size(self, payload_off):
         """Payload size of a live allocation."""
@@ -218,6 +271,7 @@ class PMAllocator:
                 self._insert_hole(cursor, block)
             cursor += block
         self._write_heap_end(NULL_CONTEXT)
+        self._update_pressure()
         return sorted(self._live)
 
     def __repr__(self):

@@ -27,6 +27,51 @@ from repro.net.checksum import crc32c
 from repro.sim.context import FilterContext, NULL_CONTEXT
 
 
+class _MemtablePressure:
+    """Pressure adapter for an LSM store's *current* memtable arena.
+
+    The memtable (and thus its PM allocator) is replaced on every
+    rotation, so a listener pinned to one allocator would go stale;
+    this adapter re-resolves the live allocator on each ``update()``
+    poll (the overload controller polls before every admission
+    decision) and applies the usual watermark hysteresis.
+    """
+
+    def __init__(self, store, high_watermark=0.9, low_watermark=0.7):
+        self.store = store
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.under_pressure = False
+        self.pressure_events = 0
+        self._pressure_listeners = []
+
+    @property
+    def occupancy(self):
+        memtable = self.store.memtable
+        if memtable is None:
+            return 0.0
+        return memtable.allocator.occupancy()
+
+    def add_pressure_listener(self, callback):
+        self._pressure_listeners.append(callback)
+        return callback
+
+    def remove_pressure_listener(self, callback):
+        self._pressure_listeners.remove(callback)
+
+    def update(self):
+        occ = self.occupancy
+        if not self.under_pressure and occ >= self.high_watermark:
+            self.under_pressure = True
+            self.pressure_events += 1
+            for listener in self._pressure_listeners:
+                listener(self, True)
+        elif self.under_pressure and occ < self.low_watermark:
+            self.under_pressure = False
+            for listener in self._pressure_listeners:
+                listener(self, False)
+
+
 class NullEngine:
     """Discard writes, never find reads: measures pure networking."""
 
@@ -128,6 +173,20 @@ class LevelDBEngine:
     def scan(self, start=None, end=None, ctx=NULL_CONTEXT):
         return self.store.scan(start, end, ctx)
 
+    @property
+    def pressure_sources(self):
+        if not hasattr(self, "_memtable_pressure"):
+            self._memtable_pressure = _MemtablePressure(self.store)
+        return (self._memtable_pressure,)
+
+    def reclaim(self, ctx=NULL_CONTEXT):
+        """Emergency flush: seal the memtable to a level-0 table."""
+        if self.store.blockdev is None or self.store.memtable is None \
+                or self.store.memtable.data_bytes == 0:
+            return 0
+        self.store.rotate(ctx)
+        return 1
+
 
 class NoveLSMEngine:
     """NoveLSM with the measurement hooks of the paper's §3.
@@ -192,3 +251,19 @@ class NoveLSMEngine:
 
     def scan(self, start=None, end=None, ctx=NULL_CONTEXT):
         return self.store.scan(start, end, self._effective_ctx(ctx))
+
+    @property
+    def pressure_sources(self):
+        if not hasattr(self, "_memtable_pressure"):
+            self._memtable_pressure = _MemtablePressure(self.store)
+        return (self._memtable_pressure,)
+
+    def reclaim(self, ctx=NULL_CONTEXT):
+        """Emergency flush — only possible with a block device to flush
+        to; the NoveLSM-as-measured configuration (PM memtables, no
+        SSD) has nowhere to move data and reports 507 honestly."""
+        if self.store.blockdev is None or self.store.memtable is None \
+                or self.store.memtable.data_bytes == 0:
+            return 0
+        self.store.rotate(self._effective_ctx(ctx))
+        return 1

@@ -1,0 +1,536 @@
+"""Overload chaos world: does the server survive the traffic it measures?
+
+The crash sweep (:mod:`repro.testing.harness`) proves the *persistence*
+path honest; this module does the same for the *serving* path.  It
+drives a deliberately under-provisioned testbed — a PM packet pool and
+metadata slab sized to exhaust under a many-connection PUT burst —
+through pool-exhaustion bursts, fabric loss/duplication storms and
+slow-client stalls, then checks the §4 coupling's failure-containment
+contract:
+
+- **liveness** — the server answers every surviving connection and a
+  post-storm probe; overload surfaces as 503/507 responses, never as an
+  exception unwinding the TCP receive path;
+- **durability** — every acked PUT's value is still readable after the
+  storm (the newest acked, or a later issued, version per key);
+- **no leaks** — after the storm drains, tx pools are empty, every
+  in-use rx slot is owned by the store, and each adopted buffer's
+  refcount equals the references the store actually holds.
+
+Running the same storm with ``contain=False`` (no overload controller,
+``contain_errors=False``) must *fail* — the sweep records the crash or
+stall as a violation.  That negative check wires into CI via
+``repro-chaoscheck --no-containment --expect-violations``, proving the
+detector detects.
+"""
+
+import random
+
+from repro.bench.testbed import SERVER_IP, make_testbed
+from repro.core.overload import OverloadController
+from repro.net.fabric import LinkFaults
+from repro.net.http import HttpParser, build_request
+from repro.sim.units import MILLIS
+
+PORT = 80
+
+#: Slot size of the host pools (mirrors Host's default).
+SLOT = 2048
+
+
+class ChaosReport:
+    """Outcome of one overload storm."""
+
+    def __init__(self):
+        self.violations = []
+        self.responses = {200: 0, 503: 0, 507: 0, 400: 0, 404: 0}
+        self.resets = 0
+        self.crashed = None
+        self.acked_puts = 0
+        self.attempted_puts = 0
+        self.probe_ok = False
+        self.server_stats = {}
+        self.overload_stats = {}
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def violation(self, kind, detail):
+        self.violations.append((kind, detail))
+
+    def summary(self):
+        lines = [
+            f"[chaos] puts acked {self.acked_puts}/{self.attempted_puts}, "
+            f"responses {dict(self.responses)}, resets {self.resets}",
+        ]
+        if self.server_stats:
+            keys = ("shed", "contained_errors", "degraded_gets",
+                    "dropped_responses", "parse_errors")
+            lines.append("[chaos] server: " + ", ".join(
+                f"{k} {self.server_stats.get(k, 0)}" for k in keys))
+        if self.overload_stats:
+            lines.append("[chaos] overload: " + ", ".join(
+                f"{k} {v}" for k, v in sorted(self.overload_stats.items())))
+        if self.crashed is not None:
+            lines.append(f"[chaos] CRASH: {self.crashed!r}")
+        if self.violations:
+            lines.append(f"[chaos] {len(self.violations)} violation(s):")
+            for kind, detail in self.violations[:10]:
+                lines.append(f"[chaos]   {kind}: {detail}")
+            if len(self.violations) > 10:
+                lines.append(f"[chaos]   ... {len(self.violations) - 10} more")
+        else:
+            lines.append("[chaos] contract held: live, durable, leak-free")
+        return "\n".join(lines)
+
+
+class _BurstConn:
+    """One closed-loop connection: PUT burst over a small private key set.
+
+    ``puts > len(keys)`` forces overwrites, giving the emergency GC
+    superseded versions to reclaim mid-storm.  Tracks, per key, the
+    latest acked value and everything issued after it — the durability
+    oracle accepts any of those (an unacked write may legally persist).
+    """
+
+    def __init__(self, world, conn_id, keys, puts, value_size):
+        self.world = world
+        self.conn_id = conn_id
+        self.keys = keys
+        self.puts = puts
+        self.value_size = value_size
+        self.sent = 0
+        self.parser = HttpParser(is_response=True)
+        self.sock = None
+        self.done = False
+        self.last_acked = {}    # key -> value of newest acked put
+        self.in_flight = None   # (key, value) awaiting its response
+        self.issued_after_ack = {}  # key -> [values issued after last ack]
+
+    def _value(self, key, index):
+        stamp = f"c{self.conn_id}:{key.decode()}:{index}:".encode()
+        filler = bytes((self.conn_id * 31 + index * 7 + i) % 256
+                       for i in range(max(0, self.value_size - len(stamp))))
+        return stamp + filler
+
+    def start(self, ctx):
+        self.sock = self.world.client.stack.connect(SERVER_IP, PORT, ctx)
+        self.sock.on_data = self._on_data
+        self.sock.on_established = lambda s, c: self._next(c)
+        self.sock.on_reset = self._on_reset
+
+    def _on_reset(self, _sock):
+        self.world.report.resets += 1
+        self.done = True
+        self.parser.reset()
+
+    def _next(self, ctx):
+        if self.sent >= self.puts:
+            self.done = True
+            self.sock.close(ctx)
+            return
+        key = self.keys[self.sent % len(self.keys)]
+        value = self._value(key, self.sent)
+        self.in_flight = (key, value)
+        self.issued_after_ack.setdefault(key, []).append(value)
+        self.sent += 1
+        self.world.report.attempted_puts += 1
+        self.sock.send(build_request("PUT", "/" + key.decode(), value), ctx)
+
+    def _on_data(self, _sock, segment, ctx):
+        for message in self.parser.feed(segment):
+            status = message.status
+            message.release()
+            self.world.report.responses[status] = \
+                self.world.report.responses.get(status, 0) + 1
+            if self.in_flight is not None and status == 200:
+                key, value = self.in_flight
+                self.last_acked[key] = value
+                self.issued_after_ack[key] = []
+                self.world.report.acked_puts += 1
+            self.in_flight = None
+            if self.done:
+                return
+            self._next(ctx)
+
+
+class _StallConn:
+    """A slow client: sends half a PUT, stalls, then resets.
+
+    The half-request's body slices sit retained in the server's parser;
+    the RST must release them (connection-level resilience) or the
+    stall permanently pins pool slots.
+    """
+
+    def __init__(self, world, conn_id, value_size, stall_ns):
+        self.world = world
+        self.conn_id = conn_id
+        self.value_size = value_size
+        self.stall_ns = stall_ns
+        self.sock = None
+
+    def start(self, ctx):
+        self.sock = self.world.client.stack.connect(SERVER_IP, PORT, ctx)
+        self.sock.on_established = self._send_half
+
+    def _send_half(self, sock, ctx):
+        request = build_request(
+            "PUT", f"/stall-{self.conn_id}", bytes(self.value_size)
+        )
+        sock.send(request[:len(request) // 2], ctx)
+        self.world.sim.schedule(self.stall_ns, self._abort)
+
+    def _abort(self):
+        if self.sock.state.value != "CLOSED":
+            self.world.client.process_on_core(
+                self.sock.core, lambda ctx: self.sock.abort(ctx)
+            )
+
+
+class OverloadStorm:
+    """Build the under-provisioned testbed and run the storm."""
+
+    def __init__(self, connections=100, puts_per_conn=6, keys_per_conn=2,
+                 value_size=1400, pool_slots=256, slab_slots=None,
+                 contain=True, zero_copy=False, stalls=4,
+                 storm_faults=True, seed=1, max_events=20_000_000):
+        self.connections = connections
+        self.puts_per_conn = puts_per_conn
+        self.keys_per_conn = keys_per_conn
+        self.value_size = value_size
+        self.pool_slots = pool_slots
+        # Default slab sizing: enough for steady state (live keys) but
+        # well short of the versions the burst creates, so the slab —
+        # not just the pool — sees pressure.
+        if slab_slots is None:
+            slab_slots = max(64, connections * keys_per_conn * 2)
+        self.slab_slots = slab_slots
+        self.contain = contain
+        self.zero_copy = zero_copy
+        self.stalls = stalls
+        self.storm_faults = storm_faults
+        self.seed = seed
+        self.max_events = max_events
+
+        self.overload = OverloadController() if contain else None
+        self.testbed = make_testbed(
+            engine="pktstore",
+            paste_pool_bytes=pool_slots * SLOT,
+            engine_kwargs={"meta_bytes": slab_slots * 256},
+            kv_kwargs={
+                "overload": self.overload,
+                "contain_errors": contain,
+                "zero_copy_get": zero_copy,
+            },
+        )
+        if self.overload is not None:
+            self.overload.sim = self.testbed.sim
+        self.sim = self.testbed.sim
+        self.client = self.testbed.client
+        self.server = self.testbed.server
+        self.report = ChaosReport()
+        self._rng = random.Random(seed)
+
+    # -- baseline / oracle ----------------------------------------------------
+
+    def _capture_baseline(self):
+        store = self.testbed.engine.store
+        self.baseline = {
+            "server_tx": self.server.tx_pool.in_use,
+            "client_tx": self.client.tx_pool.in_use,
+            "client_rx": self.client.rx_pool.in_use,
+            "store_owned": set(store._buffers),
+        }
+
+    def _check_oracles(self):
+        report = self.report
+        store = self.testbed.engine.store
+
+        # Leak oracles: after the storm drains, transient users of every
+        # pool are gone; only the store legitimately holds rx slots.
+        if self.server.tx_pool.in_use != self.baseline["server_tx"]:
+            report.violation(
+                "leak:server-tx",
+                f"{self.server.tx_pool.in_use} slots in use "
+                f"(baseline {self.baseline['server_tx']})",
+            )
+        if self.client.tx_pool.in_use != self.baseline["client_tx"]:
+            report.violation(
+                "leak:client-tx",
+                f"{self.client.tx_pool.in_use} slots in use "
+                f"(baseline {self.baseline['client_tx']})",
+            )
+        if self.client.rx_pool.in_use != self.baseline["client_rx"]:
+            report.violation(
+                "leak:client-rx",
+                f"{self.client.rx_pool.in_use} slots in use "
+                f"(baseline {self.baseline['client_rx']})",
+            )
+        rx_in_use = set(store.pool._in_use)
+        store_owned = set(store._buffers)
+        stray = rx_in_use - store_owned
+        if stray:
+            report.violation(
+                "leak:server-rx",
+                f"{len(stray)} slot(s) in use but not owned by the store: "
+                f"{sorted(stray)[:8]}",
+            )
+        missing = store_owned - rx_in_use
+        if missing:
+            report.violation(
+                "refcount:store",
+                f"store references {len(missing)} slot(s) the pool thinks "
+                f"are free: {sorted(missing)[:8]}",
+            )
+
+        # Refcount oracle: each adopted buffer's refcount equals the
+        # references the store holds on it — nothing else may be
+        # pinning storage buffers once traffic has drained.
+        held = {}
+        for refs in store._refs.values():
+            for buf in refs:
+                held[buf.slot] = held.get(buf.slot, 0) + 1
+        for slot, buf in store._buffers.items():
+            expected = held.get(slot, 0)
+            if buf.refcount != expected:
+                report.violation(
+                    "refcount:buffer",
+                    f"slot {slot}: refcount {buf.refcount}, store holds "
+                    f"{expected}",
+                )
+
+        # Durability oracle: the newest acked value (or a later issued
+        # one) per key is what the store serves.
+        for conn in self._conns:
+            for key, value in conn.last_acked.items():
+                stored = self.testbed.engine.get(key)
+                allowed = [value] + conn.issued_after_ack.get(key, [])
+                if stored not in allowed:
+                    got = None if stored is None else stored[:48]
+                    report.violation(
+                        "durability",
+                        f"key {key!r}: stored {got!r} is neither the "
+                        f"acked value nor a later issued one",
+                    )
+
+    # -- phases ---------------------------------------------------------------
+
+    def _launch(self):
+        self._conns = []
+        key_counter = 0
+        for conn_id in range(self.connections):
+            keys = [f"k{key_counter + i}".encode()
+                    for i in range(self.keys_per_conn)]
+            key_counter += self.keys_per_conn
+            conn = _BurstConn(self, conn_id, keys, self.puts_per_conn,
+                              self.value_size)
+            self._conns.append(conn)
+            core = self.client.cpus[conn_id % len(self.client.cpus)]
+            # Stagger connection setup so the SYN flood itself doesn't
+            # serialise into one processing slice.
+            self.sim.schedule(
+                conn_id * 2_000.0,
+                lambda c=conn, co=core: self.client.process_on_core(
+                    co, c.start
+                ),
+            )
+        for stall_id in range(self.stalls):
+            # Abort after the fault squall clears (60 ms): a RST is never
+            # retransmitted, so one lost to the squall would leave the
+            # server connection half-open with the partial request pinned
+            # — a TCP property (no keepalive here), not a containment bug.
+            stall = _StallConn(self, stall_id, self.value_size,
+                               stall_ns=70 * MILLIS)
+            core = self.client.cpus[stall_id % len(self.client.cpus)]
+            self.sim.schedule(
+                1_000.0 + stall_id * 3_000.0,
+                lambda s=stall, co=core: self.client.process_on_core(
+                    co, s.start
+                ),
+            )
+        if self.storm_faults:
+            # A loss+duplication squall mid-burst; clears before drain.
+            faults = LinkFaults(random.Random(self.seed), loss=0.02,
+                                duplicate=0.02)
+            self.sim.schedule(5 * MILLIS, self._set_faults, faults)
+            self.sim.schedule(60 * MILLIS, self._set_faults, None)
+
+    def _set_faults(self, faults):
+        self.testbed.fabric.faults = faults
+
+    def _probe(self):
+        """Post-storm liveness: a fresh connection must get an answer."""
+        probe_key = self._conns[0].keys[0] if self._conns else b"probe"
+        result = {"status": None}
+        parser = HttpParser(is_response=True)
+
+        def start(ctx):
+            sock = self.client.stack.connect(SERVER_IP, PORT, ctx)
+
+            def on_data(s, segment, c):
+                for message in parser.feed(segment):
+                    result["status"] = message.status
+                    message.release()
+                    s.close(c)
+
+            sock.on_data = on_data
+            sock.on_established = lambda s, c: s.send(
+                build_request("GET", "/" + probe_key.decode()), c
+            )
+
+        self.client.process_on_core(self.client.cpus[0], start)
+        self.sim.run_until_idle(max_events=self.max_events)
+        self.report.probe_ok = result["status"] in (200, 404, 503)
+        if not self.report.probe_ok:
+            self.report.violation(
+                "liveness:probe",
+                f"post-storm GET got {result['status']!r} "
+                "(expected 200/404/503)",
+            )
+
+    # -- run ------------------------------------------------------------------
+
+    def run(self):
+        self._capture_baseline()
+        self._launch()
+        try:
+            self.sim.run_until_idle(max_events=self.max_events)
+            self._probe()
+        except Exception as exc:  # noqa: BLE001 — a crash IS the finding
+            self.report.crashed = exc
+            self.report.violation(
+                "crash", f"{type(exc).__name__}: {exc}"
+            )
+            self._finalize()
+            return self.report
+
+        if self.report.acked_puts == 0:
+            self.report.violation(
+                "liveness:no-progress", "not a single PUT was acked"
+            )
+        if self.contain and self.report.responses.get(503, 0) == 0 and \
+                self.report.responses.get(507, 0) == 0:
+            self.report.violation(
+                "config:no-overload",
+                "storm never triggered shedding — the world is not "
+                "under-provisioned enough to test anything",
+            )
+        dead = sum(1 for c in self._conns if c.in_flight is not None
+                   and not c.done)
+        if dead:
+            self.report.violation(
+                "liveness:stalled",
+                f"{dead} connection(s) still awaiting a response at idle",
+            )
+        self._check_oracles()
+        self._finalize()
+        return self.report
+
+    def _finalize(self):
+        self.report.server_stats = dict(self.testbed.kv.stats)
+        if self.overload is not None:
+            self.report.overload_stats = dict(self.overload.stats)
+
+
+def run_overload_storm(**kwargs):
+    """Convenience: build and run one storm; returns the ChaosReport."""
+    return OverloadStorm(**kwargs).run()
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def build_parser():
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-chaoscheck",
+        description="Overload chaos storm against the serving path: "
+                    "pool-exhaustion bursts, fabric fault squalls and "
+                    "slow-client stalls, with liveness/durability/leak "
+                    "oracles.",
+    )
+    parser.add_argument("--connections", type=int, default=100,
+                        help="burst connections (default: 100)")
+    parser.add_argument("--puts-per-conn", type=int, default=6,
+                        help="PUTs per connection (default: 6)")
+    parser.add_argument("--keys-per-conn", type=int, default=2,
+                        help="private keys per connection; smaller than "
+                             "--puts-per-conn forces overwrites, feeding "
+                             "the emergency GC (default: 2)")
+    parser.add_argument("--value-size", type=int, default=1400,
+                        help="PUT value size in bytes (default: 1400)")
+    parser.add_argument("--pool-slots", type=int, default=256,
+                        help="PM packet-pool slots — small enough that the "
+                             "burst exhausts it (default: 256)")
+    parser.add_argument("--slab-slots", type=int, default=None,
+                        help="metadata slab slots (default: sized to "
+                             "pressure under the burst)")
+    parser.add_argument("--stalls", type=int, default=4,
+                        help="slow clients that stall mid-request then "
+                             "reset (default: 4)")
+    parser.add_argument("--no-faults", action="store_true",
+                        help="skip the mid-burst loss/duplication squall")
+    parser.add_argument("--zero-copy", action="store_true",
+                        help="serve GETs zero-copy (exercises degrade-to-"
+                             "copy under pressure)")
+    parser.add_argument("--no-containment", action="store_true",
+                        help="run without the overload controller and with "
+                             "error containment disabled (negative testing)")
+    parser.add_argument("--expect-violations", action="store_true",
+                        help="invert the exit status: succeed only if the "
+                             "storm finds violations")
+    parser.add_argument("--max-events", type=int, default=20_000_000,
+                        help="simulator event budget (default: 20M)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="seed for fault injection and value patterns")
+    return parser
+
+
+def main(argv=None):
+    import sys
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    contain = not args.no_containment
+    print(f"[chaos] storm: {args.connections} conns x "
+          f"{args.puts_per_conn} PUTs ({args.value_size} B), "
+          f"pool {args.pool_slots} slots, stalls {args.stalls}, "
+          f"faults {'off' if args.no_faults else 'on'}, "
+          f"containment {'on' if contain else 'OFF'}")
+    report = run_overload_storm(
+        connections=args.connections,
+        puts_per_conn=args.puts_per_conn,
+        keys_per_conn=args.keys_per_conn,
+        value_size=args.value_size,
+        pool_slots=args.pool_slots,
+        slab_slots=args.slab_slots,
+        contain=contain,
+        zero_copy=args.zero_copy,
+        stalls=args.stalls,
+        storm_faults=not args.no_faults,
+        seed=args.seed,
+        max_events=args.max_events,
+    )
+    print(report.summary())
+
+    if args.expect_violations:
+        if report.ok:
+            print("[chaos] FAIL: expected violations, storm was clean")
+            return 1
+        print(f"[chaos] OK: containment gap detected "
+              f"({len(report.violations)} violations, as expected)")
+        return 0
+    if not report.ok:
+        print("[chaos] FAIL: overload contract violated")
+        return 1
+    print("[chaos] OK: server stayed live, acked writes durable, "
+          "no leaks after the storm")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())
