@@ -1,0 +1,29 @@
+"""Correctness analysis for the persistence and refcount protocols.
+
+The reproduction's central bet — packet metadata reused as persistent
+storage structures — holds only while two disciplines hold everywhere:
+
+- every store to persistent memory is made durable by the clwb+sfence
+  sequence the simulator models (:mod:`repro.pm.cache`) *before* the
+  write becomes crash-visible or acknowledged, and
+- every packet reference (data and metadata refcounts, Figure 3) taken
+  on any path is released on every path, including exception paths.
+
+The crash sweep and chaos storms enforce these indirectly — they must
+*happen* to hit the buggy interleaving.  This package enforces them
+directly, pmemcheck/PMTest-style:
+
+- :mod:`repro.analysis.pmlint` — **PMLint**, an AST-based static linter
+  (``repro-lint``) with repo-specific rules over the persistence and
+  refcount idioms.
+- :mod:`repro.analysis.pmsan` — **PMSan**, a runtime sanitizer that
+  observes :class:`~repro.pm.device.PMDevice` flush/fence traffic and
+  packet refcounts while tests run (``pytest --pmsan``).
+
+Both report through the shared :class:`~repro.analysis.findings.Finding`
+model, and both ship negative self-tests proving the detectors detect.
+"""
+
+from repro.analysis.findings import AnalysisReport, Finding
+
+__all__ = ["AnalysisReport", "Finding"]

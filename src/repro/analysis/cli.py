@@ -1,0 +1,78 @@
+"""``repro-lint``: the PMLint command-line front end.
+
+Exit codes: 0 clean (suppressions allowed), 1 findings, 2 usage error.
+``--self-test`` runs the planted-example negative checks instead of
+linting — CI runs it first so a silently broken rule cannot greenlight
+the tree.
+"""
+
+import argparse
+import sys
+
+from repro.analysis import pmlint
+
+
+def _list_rules():
+    lines = []
+    for rule in pmlint.iter_rules():
+        lines.append(f"{rule.id}  [{rule.severity}]  {rule.title}")
+        if rule.hint:
+            lines.append(f"    hint: {rule.hint}")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="static persistence-ordering and refcount linter "
+                    "for the repro tree",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (e.g. src/repro)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule detects its planted bad "
+                             "example (the lint negative check)")
+    parser.add_argument("--no-hints", action="store_true",
+                        help="omit fix hints from the output")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    if args.self_test:
+        report = pmlint.self_test()
+        print(report.summary())
+        if report.ok:
+            print("self-test OK: every rule detects its planted example")
+            return 0
+        print("self-test FAILED: the linter does not detect what it claims",
+              file=sys.stderr)
+        return 1
+
+    if not args.paths:
+        parser.error("no paths given (try: repro-lint src/repro)")
+
+    select = None
+    if args.select:
+        select = {r.strip() for r in args.select.split(",") if r.strip()}
+        unknown = select - {rule.id for rule in pmlint.iter_rules()}
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+
+    try:
+        report = pmlint.run_lint(args.paths, select=select)
+    except (FileNotFoundError, SyntaxError) as exc:
+        parser.error(str(exc))
+
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,500 @@
+"""PMSan: a runtime sanitizer for persistence ordering and refcounts.
+
+Where PMLint judges the *shape* of the code, PMSan watches it run: it
+attaches to every :class:`~repro.pm.device.PMDevice` through the
+observer hook and to the two refcounted packet classes
+(:class:`~repro.net.pktbuf.PktBuf`, :class:`~repro.net.pool.
+PacketBuffer`) through class patching, and reports through the same
+:class:`~repro.analysis.findings.Finding` model the linter uses.
+
+Violation classes
+-----------------
+
+- ``PM-S01`` *unflushed store at fence* (strict): a fence ran while a
+  line stored **before** the draining lines was still dirty — the
+  older store stayed volatile while a newer one persisted.
+- ``PM-S02`` *flush without fence at a crash-visible read* (strict):
+  ``persisted_view``/``is_durable``/``crash`` observed written-back
+  but unfenced lines — durability was assumed that a crash could void.
+- ``PM-S03`` *redundant flush* (perf diagnostic): a flush call that
+  wrote back zero lines, i.e. pure modelled latency.  Aggregated per
+  call site; never fails anything.
+- ``PM-S04`` *store-ordering violation* (strict): at a fence, a
+  pending line's write-back captured a store **newer** than a store
+  that is still dirty — the persist order inverts the program's store
+  order (the link-before-persist bug class).
+- ``PM-S05`` *refcount leak*: a packet handle was garbage-collected
+  while it still held references — nobody could ever release them.
+  Handles whose backing device crashed after they were created are
+  exempt (crash tests legitimately abandon pre-crash references).
+
+Strict vs. suite mode
+---------------------
+
+The fence/ordering checks (S01/S02/S04) assume the watched device
+carries one protocol at a time; under the full simulator a later
+request's DMA-landed payload legitimately sits dirty during an earlier
+request's index fences.  So those checks run only in ``strict`` mode —
+dedicated unit/integration tests on dedicated devices — while leak
+detection (S05) and the redundant-flush diagnostic (S03) are safe
+everywhere and make up the suite-wide ``pytest --pmsan`` lane.
+
+``python -m repro.analysis.pmsan --self-test`` plants a missing fence,
+a fence-less flush, a redundant flush and a leaked reference, and
+exits non-zero unless every plant is detected and a clean protocol
+run stays clean — the negative check CI runs.
+"""
+
+import gc
+import os
+import sys
+import weakref
+
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.pm import device as pm_device
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_PM_DIR = os.path.dirname(os.path.abspath(pm_device.__file__))
+
+
+def _call_site(skip_dirs=(_HERE, _PM_DIR), skip_files=()):
+    """(path, line) of the nearest frame outside the pm/analysis layers."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        path = frame.f_code.co_filename
+        here = os.path.dirname(os.path.abspath(path))
+        if (not any(here.startswith(d) for d in skip_dirs)
+                and os.path.abspath(path) not in skip_files):
+            try:
+                shown = os.path.relpath(path)
+            except ValueError:
+                shown = path
+            return shown, frame.f_lineno
+        frame = frame.f_back
+    return "<unknown>", None
+
+
+class _DeviceState:
+    """Per-device store bookkeeping (line -> sequence/site)."""
+
+    __slots__ = ("store_seq", "store_site", "flush_seq")
+
+    def __init__(self):
+        #: line index -> global sequence of its most recent store.
+        self.store_seq = {}
+        #: line index -> call site of that store (strict mode only).
+        self.store_site = {}
+        #: pending line index -> store sequence captured at write-back.
+        self.flush_seq = {}
+
+
+class PMSan:
+    """The sanitizer.  Use as a context manager around the code under test.
+
+    ``strict=True`` additionally arms the fence/ordering checks — only
+    do that around a dedicated device exercising one protocol.
+    """
+
+    def __init__(self, strict=False):
+        self.strict = strict
+        self.report = AnalysisReport(tool="pmsan")
+        self._seq = 0
+        self._devices = weakref.WeakKeyDictionary()
+        self._previous_factory = None
+        self._enabled = False
+        #: (rule, path, line) triples already reported, for dedup.
+        self._emitted = set()
+        #: call site -> count of zero-line flushes.
+        self._redundant = {}
+        #: id(handle) -> (kind, path, line, device, crash_epoch).
+        self._live = {}
+        #: (kind, path, line, refcount, pool weakref) for handles that
+        #: died holding references; judged at :meth:`disable`.
+        self._leak_candidates = []
+        self._patched = []
+        self._alloc_files = ()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def enable(self):
+        if self._enabled:
+            raise RuntimeError("PMSan already enabled")
+        self._previous_factory = pm_device.set_observer_factory(self._attach)
+        self._patch_refcounts()
+        self._enabled = True
+        return self
+
+    def disable(self):
+        """Detach everything, then fold aggregates into the report.
+
+        Must run *before* the caller's teardown drops long-lived
+        structures (stores legitimately hold references at scope exit;
+        only handles collected while the sanitizer is live are leaks).
+        """
+        if not self._enabled:
+            return self.report
+        # Finalize stragglers (cycles) while the patches are still in
+        # place, so their leak candidates are recorded.
+        gc.collect()
+        pm_device.set_observer_factory(self._previous_factory)
+        for device in list(self._devices):
+            if device.observer is self:
+                device.observer = None
+        self._unpatch_refcounts()
+        self._live.clear()
+        for kind, path, line, refcount, pool_ref in self._leak_candidates:
+            # A dead handle is only a *leak* if its pool outlived it —
+            # a slot lost in a living pool.  When the pool died too
+            # (a test's whole world dropped at scope exit), nothing
+            # was lost.
+            if pool_ref is not None and pool_ref() is None:
+                continue
+            self._emit(
+                "PM-S05",
+                f"{kind} allocated at {path}:{line} was garbage-collected "
+                f"holding {refcount} reference(s) — nothing can release "
+                f"them now",
+                (path, line),
+                hint="release()/put() on every path (try/finally), or "
+                     "keep the handle reachable for its owner",
+            )
+        self._leak_candidates = []
+        for (path, line), count in sorted(self._redundant.items()):
+            self.report.add(Finding(
+                "PM-S03",
+                f"{count} flush call(s) wrote back zero lines",
+                path=path, line=line, severity="perf",
+                hint="the range was already clean — drop the flush or "
+                     "widen the preceding one",
+            ))
+        self._redundant.clear()
+        self._enabled = False
+        return self.report
+
+    def __enter__(self):
+        return self.enable()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.disable()
+        return False
+
+    def attach(self, device):
+        """Watch a device that existed before the sanitizer was enabled."""
+        if getattr(device, "tracker", None) is None:
+            raise TypeError(f"{device!r} is not a PM device")
+        device.observer = self._attach(device)
+        return device
+
+    def _attach(self, device):
+        self._devices[device] = _DeviceState()
+        return self
+
+    def _state(self, device):
+        state = self._devices.get(device)
+        if state is None:
+            state = self._devices[device] = _DeviceState()
+        return state
+
+    # ------------------------------------------------------------- findings
+
+    def _emit(self, rule, message, site, severity="error", hint=None):
+        path, line = site
+        key = (rule, path, line)
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        self.report.add(Finding(
+            rule, message, path=path, line=line,
+            severity=severity, hint=hint,
+        ))
+
+    # ------------------------------------------------------- device hooks
+
+    def on_store(self, device, offset, length):
+        self._seq += 1
+        state = self._state(device)
+        site = _call_site() if self.strict else None
+        for line in device.tracker.lines_for(offset, length):
+            state.store_seq[line] = self._seq
+            if site is not None:
+                state.store_site[line] = site
+
+    def on_flush(self, device, offset, length, lines_written):
+        state = self._state(device)
+        if lines_written == 0:
+            path, line = _call_site()
+            self._redundant[(path, line)] = (
+                self._redundant.get((path, line), 0) + 1
+            )
+        tracker = device.tracker
+        for line in tracker.lines_for(offset, length):
+            if line in tracker.pending:
+                state.flush_seq[line] = state.store_seq.get(line, 0)
+
+    def on_fence(self, device):
+        if not self.strict:
+            return
+        state = self._state(device)
+        tracker = device.tracker
+        if not tracker.dirty:
+            return
+        draining = [
+            state.flush_seq.get(line, 0) for line in tracker.pending
+        ]
+        newest_draining = max(draining, default=0)
+        for line in sorted(tracker.dirty):
+            stored = state.store_seq.get(line, 0)
+            if stored < newest_draining:
+                where = state.store_site.get(line, ("<unknown>", None))
+                self._emit(
+                    "PM-S04",
+                    f"fence on {device.name} persists a newer store while "
+                    f"the store to line {line} (from {where[0]}:{where[1]}) "
+                    f"is still dirty — persist order inverts store order",
+                    _call_site(),
+                    hint="flush+fence the earlier store before the "
+                         "dependent one (persist-before-link)",
+                )
+                self._emit(
+                    "PM-S01",
+                    f"fence on {device.name} ran with line {line} still "
+                    f"dirty — that store stays volatile across the fence",
+                    where if where[0] != "<unknown>" else _call_site(),
+                    hint="write-back (flush) the line before fencing",
+                )
+
+    def on_crash_visible_read(self, device, offset, length):
+        if not self.strict:
+            return
+        tracker = device.tracker
+        touched = [
+            line for line in tracker.lines_for(offset, length)
+            if line in tracker.pending
+        ]
+        if touched:
+            self._emit(
+                "PM-S02",
+                f"crash-visible read of {device.name} with "
+                f"{len(touched)} written-back but unfenced line(s) in "
+                f"range — flushed data is not durable until the fence",
+                _call_site(),
+                hint="fence before treating the range as persisted",
+            )
+
+    def on_crash(self, device):
+        if not self.strict:
+            return
+        tracker = device.tracker
+        if tracker.pending:
+            self._emit(
+                "PM-S02",
+                f"crash of {device.name} with {len(tracker.pending)} "
+                f"written-back but unfenced line(s) in limbo",
+                _call_site(),
+                hint="a commit point must fence; only post-commit "
+                     "hint writes may ride unfenced into a crash",
+            )
+
+    # --------------------------------------------------- refcount patching
+
+    def _patch_refcounts(self):
+        from repro.net.pktbuf import PktBuf
+        from repro.net.pool import PacketBuffer
+
+        sanitizer = self
+
+        import repro.net.pktbuf as pktbuf_mod
+        import repro.net.pool as pool_mod
+
+        self._alloc_files = (
+            os.path.abspath(pktbuf_mod.__file__),
+            os.path.abspath(pool_mod.__file__),
+        )
+
+        for cls in (PktBuf, PacketBuffer):
+            original_init = cls.__init__
+            # Keyed lookup, not attribute lookup: with nested sanitizers
+            # (a strict test inside the --pmsan suite lane) the outer
+            # instance's hooks must survive the inner unpatch.
+            original_del = cls.__dict__.get("__del__")
+
+            def make_init(original):
+                def __init__(obj, *args, **kwargs):
+                    original(obj, *args, **kwargs)
+                    sanitizer._register_handle(obj)
+                return __init__
+
+            def make_del():
+                def __del__(obj):
+                    sanitizer._finalize_handle(obj)
+                return __del__
+
+            cls.__init__ = make_init(original_init)
+            cls.__del__ = make_del()
+            self._patched.append((cls, original_init, original_del))
+
+    def _unpatch_refcounts(self):
+        for cls, original_init, original_del in self._patched:
+            cls.__init__ = original_init
+            if original_del is None:
+                del cls.__del__
+            else:
+                cls.__del__ = original_del
+        self._patched = []
+
+    @staticmethod
+    def _backing_device(obj):
+        pool = getattr(obj, "pool", None)
+        if pool is None:
+            buf = getattr(obj, "buf", None)
+            pool = getattr(buf, "pool", None)
+        region = getattr(pool, "region", None)
+        return getattr(region, "device", None)
+
+    def _register_handle(self, obj):
+        device = self._backing_device(obj)
+        # Attribute the handle to the caller of the allocation primitive,
+        # not to pktbuf/pool internals.
+        path, line = _call_site(skip_files=self._alloc_files)
+        self._live[id(obj)] = (
+            type(obj).__name__, path, line, device,
+            getattr(device, "crashes", 0),
+        )
+
+    def _finalize_handle(self, obj):
+        info = self._live.pop(id(obj), None)
+        if info is None:
+            return  # allocated outside this sanitizer's lifetime
+        kind, path, line, device, epoch = info
+        if getattr(device, "crashes", 0) != epoch:
+            return  # the power-cycle legitimately voided the reference
+        refcount = getattr(obj, "refcount", 0)
+        leaked = refcount > 0 and not getattr(obj, "freed", False)
+        if leaked:
+            pool = getattr(obj, "pool", None)
+            if pool is None:
+                pool = getattr(getattr(obj, "buf", None), "pool", None)
+            self._leak_candidates.append((
+                kind, path, line, refcount,
+                weakref.ref(pool) if pool is not None else None,
+            ))
+
+
+def _selftest():
+    """Plant one of each violation; fail unless every plant is caught."""
+    from repro.net.pktbuf import PktBuf
+    from repro.net.pool import BufferPool
+    from repro.pm.device import PMDevice
+    from repro.sim.context import NULL_CONTEXT
+
+    failures = []
+
+    # 1. A clean persist-before-link protocol must produce no findings.
+    with PMSan(strict=True) as clean:
+        device = PMDevice(16 * 1024, name="selftest-clean")
+        device.write(0, b"node")
+        device.flush(0, 64, NULL_CONTEXT)
+        device.fence(NULL_CONTEXT)
+        device.write(128, b"link")
+        device.flush(128, 64, NULL_CONTEXT)
+        device.fence(NULL_CONTEXT)
+        device.persisted_view(0, 64)
+    if not clean.report.ok or clean.report.diagnostics:
+        failures.append(
+            "clean protocol raised findings:\n" + clean.report.summary()
+        )
+
+    # 2. Planted missing fence: link flushed+fenced while the node's
+    #    store was never written back (the link-before-persist bug).
+    with PMSan(strict=True) as missing_fence:
+        device = PMDevice(16 * 1024, name="selftest-marred")
+        device.write(0, b"node")            # never flushed
+        device.write(128, b"link")
+        device.flush(128, 64, NULL_CONTEXT)
+        device.fence(NULL_CONTEXT)                       # node still dirty
+    rules = {f.rule for f in missing_fence.report.findings}
+    if "PM-S04" not in rules or "PM-S01" not in rules:
+        failures.append(
+            f"planted missing fence NOT detected (got {sorted(rules)})"
+        )
+
+    # 3. Planted flush-without-fence at a crash-visible read.
+    with PMSan(strict=True) as no_fence:
+        device = PMDevice(16 * 1024, name="selftest-unfenced")
+        device.write(0, b"record")
+        device.flush(0, 64, NULL_CONTEXT)
+        device.is_durable(0, 64)             # pending, never fenced
+    rules = {f.rule for f in no_fence.report.findings}
+    if "PM-S02" not in rules:
+        failures.append(
+            f"planted flush-without-fence NOT detected (got {sorted(rules)})"
+        )
+
+    # 4. Planted redundant flush (perf diagnostic only — must not fail).
+    with PMSan(strict=True) as redundant:
+        device = PMDevice(16 * 1024, name="selftest-redundant")
+        device.write(0, b"x")
+        device.flush(0, 64, NULL_CONTEXT)
+        device.flush(0, 64, NULL_CONTEXT)                  # zero lines written back
+        device.fence(NULL_CONTEXT)
+    diags = {f.rule for f in redundant.report.diagnostics}
+    if "PM-S03" not in diags:
+        failures.append("planted redundant flush NOT diagnosed")
+    if not redundant.report.ok:
+        failures.append("redundant flush wrongly escalated to a failure")
+
+    # 5. Planted refcount leak: the handle dies holding its reference.
+    with PMSan() as leak:
+        device = PMDevice(64 * 1024, name="selftest-leak")
+        pool = BufferPool(device.region(0, 64 * 1024), slot_size=2048,
+                          name="selftest-pool")
+        pkt = PktBuf.alloc(pool)
+        del pkt                              # dropped without release()
+        gc.collect()
+    rules = {f.rule for f in leak.report.findings}
+    if "PM-S05" not in rules:
+        failures.append(f"planted refcount leak NOT detected (got {sorted(rules)})")
+
+    # 6. A released handle must not be reported.
+    with PMSan() as ok_release:
+        device = PMDevice(64 * 1024, name="selftest-release")
+        pool = BufferPool(device.region(0, 64 * 1024), slot_size=2048,
+                          name="selftest-pool-ok")
+        pkt = PktBuf.alloc(pool)
+        pkt.release()
+        del pkt
+        gc.collect()
+    if not ok_release.report.ok:
+        failures.append(
+            "released handle wrongly reported:\n" + ok_release.report.summary()
+        )
+
+    return failures
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.pmsan",
+        description="PMSan negative self-test (planted-bug detection)",
+    )
+    parser.add_argument("--self-test", action="store_true", required=True,
+                        help="plant one of each violation class and "
+                             "verify the sanitizer catches them all")
+    parser.parse_args(argv)
+
+    failures = _selftest()
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        print(f"self-test FAILED: {len(failures)} planted check(s) missed",
+              file=sys.stderr)
+        return 1
+    print("self-test OK: every planted violation was detected and the "
+          "clean runs stayed clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -164,21 +164,29 @@ class PktFS:
         refs, frag_tuples = [], []
         offset = 0
         slot_size = self.pool.slot_size
-        while offset < len(data):
-            chunk = data[offset:offset + slot_size]
-            buf = self.pool.alloc()
-            buf.write(0, chunk)
-            buf.flush(0, len(chunk), ctx, "persist")
-            refs.append(buf)
-            frag_tuples.append((buf.slot, 0, len(chunk)))
-            offset += len(chunk)
-        if frag_tuples:
-            self.pool.region.fence(ctx, "persist")
+        try:
+            while offset < len(data):
+                chunk = data[offset:offset + slot_size]
+                buf = self.pool.alloc()
+                refs.append(buf)
+                buf.write(0, chunk)
+                buf.flush(0, len(chunk), ctx, "persist")
+                frag_tuples.append((buf.slot, 0, len(chunk)))
+                offset += len(chunk)
+            if frag_tuples:
+                self.pool.region.fence(ctx, "persist")
+            slot = self._link_inode(
+                name, refs, frag_tuples, len(data), crc32c(data),
+                mtime if mtime is not None else 0, ctx,
+            )
+        except Exception:
+            # Nothing is linked yet: releasing the pages restores the
+            # pre-write state (minus the already-replaced old file).
+            for buf in refs:
+                buf.put()
+            raise
         self.stats["creates"] += 1
-        return self._link_inode(
-            name, refs, frag_tuples, len(data), crc32c(data),
-            mtime if mtime is not None else 0, ctx,
-        )
+        return slot
 
     def ingest(self, name, message, ctx=NULL_CONTEXT):
         """Create/replace a file from a received HTTP message, zero-copy.
@@ -190,44 +198,64 @@ class PktFS:
             self.unlink(name, ctx)
         refs, frag_tuples = [], []
         checksum = 0
-        for chunk in message.body_slices:
-            buf, offset, length = chunk.buffer_ref()
-            refs.append(buf.get())
-            frag_tuples.append((buf.slot, offset, length))
-            buf.flush(offset, length, ctx, "persist")
-            checksum = crc32c(chunk.bytes(), seed=checksum)
-        if frag_tuples:
-            self.pool.region.fence(ctx, "persist")
+        try:
+            for chunk in message.body_slices:
+                buf, offset, length = chunk.buffer_ref()
+                refs.append(buf.get())
+                frag_tuples.append((buf.slot, offset, length))
+                buf.flush(offset, length, ctx, "persist")
+                checksum = crc32c(chunk.bytes(), seed=checksum)
+            if frag_tuples:
+                self.pool.region.fence(ctx, "persist")
+            slot = self._link_inode(
+                name, refs, frag_tuples, message.content_length, checksum,
+                message.hw_tstamp or 0, ctx,
+            )
+        except Exception:
+            # Drop the extra data references taken above; the message's
+            # own references are untouched, so the caller's rx path
+            # keeps its exact refcounts.
+            for buf in refs:
+                buf.put()
+            raise
         self.stats["ingests"] += 1
-        return self._link_inode(
-            name, refs, frag_tuples, message.content_length, checksum,
-            message.hw_tstamp or 0, ctx,
-        )
+        return slot
 
     def _link_inode(self, name, refs, frag_tuples, size, checksum, mtime, ctx):
         key = name.encode() if isinstance(name, str) else bytes(name)
-        # Extent continuation chain, persisted deepest-first.
+        # Extent continuation chain, persisted deepest-first.  Any
+        # failure before the directory link (slab exhaustion, a name too
+        # long for the record key) rolls the allocated slots back —
+        # mirroring PacketStore.put; the caller rolls back the refs.
         cont_slot_plus1 = 0
-        extra = frag_tuples[INLINE_FRAGS:]
-        if extra:
-            chunks = [extra[i:i + INLINE_FRAGS] for i in range(0, len(extra), INLINE_FRAGS)]
-            for chunk in reversed(chunks):
-                slot = self.slab.alloc(ctx)
-                self.slab.write_record(
-                    slot,
-                    PPktRecord(kind=KIND_CONT, frags=chunk, cont=cont_slot_plus1),
-                    ctx,
-                )
-                cont_slot_plus1 = slot + 1
-        inode_slot = self.slab.alloc(ctx)
-        first = self.slab.read_next(self.head_slot, 0)
-        inode = PPktRecord(
-            kind=KIND_INODE, height=1, key=key, value_len=size,
-            hw_tstamp=mtime, wire_csum=checksum,
-            cont=cont_slot_plus1, frags=frag_tuples[:INLINE_FRAGS],
-            nexts=[first] + [0] * 7,
-        )
-        self.slab.write_record(inode_slot, inode, ctx)
+        allocated = []
+        try:
+            extra = frag_tuples[INLINE_FRAGS:]
+            if extra:
+                chunks = [extra[i:i + INLINE_FRAGS] for i in range(0, len(extra), INLINE_FRAGS)]
+                for chunk in reversed(chunks):
+                    slot = self.slab.alloc(ctx)
+                    allocated.append(slot)
+                    self.slab.write_record(
+                        slot,
+                        PPktRecord(kind=KIND_CONT, frags=chunk, cont=cont_slot_plus1),
+                        ctx,
+                    )
+                    cont_slot_plus1 = slot + 1
+            inode_slot = self.slab.alloc(ctx)
+            allocated.append(inode_slot)
+            first = self.slab.read_next(self.head_slot, 0)
+            inode = PPktRecord(
+                kind=KIND_INODE, height=1, key=key, value_len=size,
+                hw_tstamp=mtime, wire_csum=checksum,
+                cont=cont_slot_plus1, frags=frag_tuples[:INLINE_FRAGS],
+                nexts=[first] + [0] * 7,
+            )
+            self.slab.write_record(inode_slot, inode, ctx)
+        except Exception:
+            for slot in allocated:
+                self.slab.free(slot, ctx)
+            raise
         self._refs[inode_slot] = refs
         # Commit: the directory link.
         self.slab.write_next(self.head_slot, 0, inode_slot + 1, ctx, fence=True)

@@ -257,6 +257,7 @@ class PacketStore:
         ]
         cont_slot_plus1 = 0
         cont_slots = []
+        node_slot = None
         try:
             extra = frag_tuples[INLINE_FRAGS:]
             if extra:
@@ -272,32 +273,37 @@ class PacketStore:
                     self.slab.write_record(slot, cont, ctx)
                     cont_slot_plus1 = slot + 1
 
-            # 4. The node record itself, persisted before linking.
+            # 4. The node record itself, persisted before linking.  The
+            # record constructor validates the key (an oversized key
+            # raises), so it must sit inside the rollback scope too.
             node_slot = self.slab.alloc(ctx)
-        except SlabExhausted:
-            # Roll back: nothing is linked yet, so freeing the slots and
+            record = PPktRecord(
+                kind=KIND_NODE,
+                flags=FLAG_VALID | (FLAG_TOMBSTONE if tombstone else 0),
+                height=height,
+                key=key,
+                seq=seq,
+                hw_tstamp=hw_tstamp or 0,
+                wire_csum=wire_csum or 0,
+                value_len=value_len,
+                cont=cont_slot_plus1,
+                frags=frag_tuples[:INLINE_FRAGS],
+                nexts=[self.slab.read_next(preds[i], i) if i < height else 0
+                       for i in range(MAX_HEIGHT)],
+            )
+            self.slab.write_record(node_slot, record, ctx)
+        except Exception:
+            # Roll back whatever failed — slab exhaustion or a bad
+            # record: nothing is linked yet, so freeing the slots and
             # dropping the payload references restores the pre-put state
             # exactly (the burned seq is harmless — seqs only order).
+            if node_slot is not None:
+                self.slab.free(node_slot, ctx)
             for slot in cont_slots:
                 self.slab.free(slot, ctx)
             for buf, _offset, _length in frag_refs:
                 buf.put()
             raise
-        record = PPktRecord(
-            kind=KIND_NODE,
-            flags=FLAG_VALID | (FLAG_TOMBSTONE if tombstone else 0),
-            height=height,
-            key=key,
-            seq=seq,
-            hw_tstamp=hw_tstamp or 0,
-            wire_csum=wire_csum or 0,
-            value_len=value_len,
-            cont=cont_slot_plus1,
-            frags=frag_tuples[:INLINE_FRAGS],
-            nexts=[self.slab.read_next(preds[i], i) if i < height else 0
-                   for i in range(MAX_HEIGHT)],
-        )
-        self.slab.write_record(node_slot, record, ctx)
         self._refs[node_slot] = [buf for buf, _o, _l in frag_refs]
         for buf, _o, _l in frag_refs:
             self._buffers[buf.slot] = buf

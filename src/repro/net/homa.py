@@ -42,6 +42,7 @@ from repro.net.headers import (
     ip_to_int,
 )
 from repro.net.pktbuf import PktBuf
+from repro.net.pool import PoolExhausted
 from repro.net.tcp import RxSegment
 from repro.sim.units import MILLIS
 
@@ -205,6 +206,7 @@ class HomaTransport:
         self.stats = {
             "tx_data": 0, "rx_data": 0, "grants": 0, "resends": 0,
             "messages_delivered": 0, "bad_csum": 0,
+            "tx_dropped_nobuf": 0,
         }
 
     # -- application surface ----------------------------------------------------
@@ -250,6 +252,11 @@ class HomaTransport:
         )
         pkt = self._build(header, message.dst_ip,
                           message.data[offset:offset + length], ctx)
+        if pkt is None:
+            # Dropped for want of a tx buffer.  The receiver's RESEND
+            # machinery recovers exactly as it would from wire loss, so
+            # the message still counts the range as sent.
+            return
         if not retransmit:
             # Keep a clone until the receiver acknowledges the message —
             # the same retained-metadata lifetime as TCP's rtx queue.
@@ -262,7 +269,15 @@ class HomaTransport:
         self._build(header, dst_ip, b"", ctx)
 
     def _build(self, header, dst_ip, payload, ctx):
-        pkt = PktBuf.alloc(self.tx_pool, headroom=self.tx_headroom)
+        try:
+            pkt = PktBuf.alloc(self.tx_pool, headroom=self.tx_headroom)
+        except PoolExhausted:
+            # PoolExhausted must not unwind the rx path (a GRANT or ACK
+            # is built while the peer's DATA packet is still referenced
+            # above this frame).  Dropping the packet is loss the
+            # protocol already tolerates.
+            self.stats["tx_dropped_nobuf"] += 1
+            return None
         self.costs.charge_pktbuf_alloc(ctx)
         if payload:
             pkt.append(payload)

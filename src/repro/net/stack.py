@@ -144,10 +144,15 @@ class NetworkStack:
         self.delack_ns = None
         self._iss = 10_000
         self._ephemeral = 40_000
+        # Idle-connection reaper (opt-in, see enable_idle_reaper).
+        self.reaper_idle_ns = None
+        self.reaper_scan_ns = None
+        self._reaper_timer = None
         self.stats = {
             "rx_packets": 0, "rx_bad_csum": 0, "rx_no_socket": 0,
             "rx_malformed": 0,
-            "tx_packets": 0, "rst_sent": 0, "tapped": 0,
+            "tx_packets": 0, "rst_sent": 0, "rst_dropped_nobuf": 0,
+            "conns_reaped": 0, "tapped": 0,
         }
 
     # -- packet taps -----------------------------------------------------------
@@ -195,6 +200,7 @@ class NetworkStack:
         )
         self._apply_gso(conn)
         self._connections[conn.tuple4] = conn
+        self._arm_reaper()
         sock = Socket(self, conn)
         conn.open_active(ctx)
         return sock
@@ -213,6 +219,58 @@ class NetworkStack:
 
     def connection_count(self):
         return len(self._connections)
+
+    # -- idle-connection reaper -------------------------------------------------
+
+    def enable_idle_reaper(self, idle_ns, scan_ns=None):
+        """Reap connections with no rx activity for ``idle_ns``.
+
+        TCP never retransmits an RST, so one lost on the wire leaves
+        the server side half-open forever: ESTABLISHED, no timers
+        armed, the partial request's buffers pinned.  The reaper is
+        the kernel's keepalive/idle-timeout analog — a periodic scan
+        that silently tears down (no RST; the peer is gone) any
+        connection idle past the threshold, firing its reset callback
+        so the application drops per-connection state.
+
+        Opt-in because reaping is a policy decision: a workload with
+        legitimate think-time gaps longer than ``idle_ns`` would lose
+        healthy connections.  ``scan_ns`` defaults to a quarter of the
+        idle threshold.  The scan timer only stays armed while
+        connections exist, so an idle simulation still drains.
+        """
+        if idle_ns <= 0:
+            raise ValueError("idle_ns must be positive")
+        self.reaper_idle_ns = idle_ns
+        self.reaper_scan_ns = scan_ns or max(idle_ns // 4, 1)
+        self._arm_reaper()
+
+    def disable_idle_reaper(self):
+        self.reaper_idle_ns = None
+        self.reaper_scan_ns = None
+        if self._reaper_timer is not None:
+            self._reaper_timer.cancel()
+            self._reaper_timer = None
+
+    def _arm_reaper(self):
+        if (self.reaper_idle_ns is None or self._reaper_timer is not None
+                or not self._connections):
+            return
+        self._reaper_timer = self.sim.schedule(self.reaper_scan_ns, self._reap_scan)
+
+    def _reap_scan(self):
+        self._reaper_timer = None
+        if self.reaper_idle_ns is None:
+            return
+        now = self.sim.now
+        for conn in list(self._connections.values()):
+            if conn.state in (TcpState.CLOSED, TcpState.LISTEN,
+                              TcpState.TIME_WAIT):
+                continue  # TIME_WAIT already has its own expiry timer
+            if now - conn.last_activity >= self.reaper_idle_ns:
+                self.stats["conns_reaped"] += 1
+                conn.reap()
+        self._arm_reaper()
 
     # -- transmit path ---------------------------------------------------------
 
@@ -343,6 +401,7 @@ class NetworkStack:
         )
         self._apply_gso(conn)
         self._connections[conn.tuple4] = conn
+        self._arm_reaper()
         sock = Socket(self, conn)
         sock.on_established = lambda s, c: on_accept(s, c)
         conn.accept_syn(tcp_header, ctx)
@@ -350,9 +409,17 @@ class NetworkStack:
     def _send_rst(self, ip_header, tcp_header, payload_len, ctx):
         """Refuse a segment aimed at nothing (stateless RST)."""
         from repro.net.pktbuf import PktBuf
+        from repro.net.pool import PoolExhausted
 
+        try:
+            pkt = PktBuf.alloc(self.tx_pool, headroom=self.tx_headroom)
+        except PoolExhausted:
+            # An RST is best-effort (never retransmitted); under pool
+            # pressure it drops like any other lost segment rather than
+            # unwinding the receive path that still holds the rx packet.
+            self.stats["rst_dropped_nobuf"] += 1
+            return
         self.stats["rst_sent"] += 1
-        pkt = PktBuf.alloc(self.tx_pool, headroom=self.tx_headroom)
         rst = TCPHeader(
             tcp_header.dst_port, tcp_header.src_port,
             seq=tcp_header.ack, ack=tcp_header.seq + payload_len + 1,

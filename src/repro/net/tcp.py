@@ -194,6 +194,11 @@ class TcpConnection:
         # any segment (which always carries the ACK) goes out this slice.
         self.ack_pending = False
 
+        #: Simulation time of the last received segment; the stack's
+        #: idle reaper uses it to spot half-open peers whose RST was
+        #: lost (they stop talking but never close).
+        self.last_activity = stack.sim.now
+
         # Application callbacks (wired up by the Socket wrapper).
         self.on_data = None
         self.on_established = None
@@ -263,6 +268,19 @@ class TcpConnection:
         """Send RST and tear down immediately."""
         if self.state not in (TcpState.CLOSED, TcpState.LISTEN):
             self._emit_segment(ctx, flags=RST | ACK, seq=self.snd_nxt, seqlen=0)
+        self._teardown()
+
+    def reap(self):
+        """Silent teardown by the stack's idle reaper — no RST is sent.
+
+        The peer is presumed gone (its RST or FIN was lost in transit),
+        so there is nobody to notify and no tx buffer is needed.
+        Firing the reset callback first lets the application drop its
+        per-connection state — the partial request that a lost RST
+        would otherwise pin forever.
+        """
+        if self.on_reset is not None:
+            self.on_reset(self)
         self._teardown()
 
     def _teardown(self):
@@ -500,10 +518,15 @@ class TcpConnection:
         self._delack_timer = None
         if not self.ack_pending or self.state is TcpState.CLOSED:
             return
-        self.stack.host.process_on_core(
-            self.core,
-            lambda ctx: self._emit_segment(ctx, flags=ACK, seq=self.snd_nxt, seqlen=0),
-        )
+        self.stack.host.process_on_core(self.core, self._emit_delayed_ack)
+
+    def _emit_delayed_ack(self, ctx):
+        try:
+            self._emit_segment(ctx, flags=ACK, seq=self.snd_nxt, seqlen=0)
+        except PoolExhausted:
+            # A pure ACK is best-effort: drop it rather than unwind the
+            # timer slice; the peer's retransmission will re-trigger it.
+            pass
 
     # ------------------------------------------------------------------ timers
 
@@ -538,7 +561,13 @@ class TcpConnection:
     def _give_up(self, ctx):
         if self.on_reset is not None:
             self.on_reset(self)
-        self.abort(ctx)
+        try:
+            self.abort(ctx)
+        except PoolExhausted:
+            # No buffer for the goodbye RST: silent teardown, same as
+            # _abort_on_exhaustion — the exception must not escape the
+            # timer slice that called us.
+            self._teardown()
 
     def _retransmit_head(self, ctx):
         if not self.rtx_queue:
@@ -561,6 +590,7 @@ class TcpConnection:
     def input(self, pkt, header, payload_off, payload_len, ctx):
         """Process one received segment (already demuxed to this connection)."""
         self.stats["rx_segments"] += 1
+        self.last_activity = self.stack.sim.now
         handler = {
             TcpState.SYN_SENT: self._input_syn_sent,
             TcpState.SYN_RCVD: self._input_syn_rcvd,
@@ -580,7 +610,7 @@ class TcpConnection:
         # after the delayed-ACK interval, coalescing bursts.
         if self.ack_pending and self.state is not TcpState.CLOSED:
             if self.delack_ns is None:
-                self._emit_segment(ctx, flags=ACK, seq=self.snd_nxt, seqlen=0)
+                self._emit_delayed_ack(ctx)
             elif self._delack_timer is None:
                 self._delack_timer = self.stack.sim.schedule(
                     self.delack_ns, self._on_delack

@@ -29,6 +29,25 @@ from repro.pm.constants import (
 )
 from repro.sim.context import NULL_CONTEXT
 
+#: When set, every newly constructed :class:`PMDevice` calls
+#: ``_observer_factory(device)`` and keeps the result as its observer.
+#: PMSan (:mod:`repro.analysis.pmsan`) installs itself here so devices
+#: created *after* the sanitizer is enabled are watched automatically;
+#: it attaches to pre-existing devices explicitly.  The hooks are
+#: pure notifications — they never change device behaviour.
+_observer_factory = None
+
+
+def set_observer_factory(factory):
+    """Install (or clear, with None) the PMDevice observer factory.
+
+    Returns the previous factory so callers can restore it.
+    """
+    global _observer_factory
+    previous = _observer_factory
+    _observer_factory = factory
+    return previous
+
 
 class MemoryDevice:
     """Flat byte-addressable memory with a modeled access latency."""
@@ -42,6 +61,7 @@ class MemoryDevice:
         self.access_ns = access_ns
         self.name = name
         self.data = bytearray(size)
+        self.crashes = 0
 
     def _check(self, offset, length):
         if offset < 0 or length < 0 or offset + length > self.size:
@@ -86,6 +106,7 @@ class MemoryDevice:
         crash-injection code can power-cycle any device kind through one
         signature.
         """
+        self.crashes += 1
         self.data = bytearray(self.size)
 
     def region(self, base, size, name=None):
@@ -124,23 +145,35 @@ class PMDevice(MemoryDevice):
         #: Bytes that have actually reached the persistence domain.
         self.persisted = bytearray(size)
         self.tracker = FlushTracker()
-        self.crashes = 0
+        #: Sanitizer hook (see :func:`set_observer_factory`); purely
+        #: observational.
+        self.observer = (
+            _observer_factory(self) if _observer_factory is not None else None
+        )
 
     def write(self, offset, payload):
         written = super().write(offset, payload)
         self.tracker.mark_store(offset, written)
+        if self.observer is not None:
+            self.observer.on_store(self, offset, written)
         return written
 
     def flush(self, offset, length, ctx=NULL_CONTEXT, category="pm.flush"):
         """clwb the covered lines; charges per dirty line written back."""
         self._check(offset, length)
         lines = self.tracker.writeback(offset, length, self.data)
+        if self.observer is not None:
+            self.observer.on_flush(self, offset, length, lines)
         if lines:
             ctx.charge(lines * self.flush_line_ns, category)
         return lines
 
     def fence(self, ctx=NULL_CONTEXT, category="pm.flush"):
         """sfence: drain pending write-backs into the persistent image."""
+        if self.observer is not None:
+            # Pre-drain, so the observer sees what this fence is about
+            # to persist next to what is still volatile.
+            self.observer.on_fence(self)
         drained = self.tracker.fence(self.persisted)
         ctx.charge(self.fence_ns, category)
         return drained
@@ -155,17 +188,23 @@ class PMDevice(MemoryDevice):
         :meth:`repro.pm.cache.FlushTracker.crash` for the contract.
         """
         self.crashes += 1
+        if self.observer is not None:
+            self.observer.on_crash(self)
         self.tracker.crash(self.persisted, rng, pending_persist_prob)
         self.data = bytearray(self.persisted)
 
     def persisted_view(self, offset, length):
         """Read from the persistent image (what recovery would see)."""
         self._check(offset, length)
+        if self.observer is not None:
+            self.observer.on_crash_visible_read(self, offset, length)
         return bytes(self.persisted[offset:offset + length])
 
     def is_durable(self, offset, length):
         """True if every byte in the range matches its persisted image."""
         self._check(offset, length)
+        if self.observer is not None:
+            self.observer.on_crash_visible_read(self, offset, length)
         return self.data[offset:offset + length] == self.persisted[offset:offset + length]
 
 

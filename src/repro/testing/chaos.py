@@ -194,7 +194,8 @@ class OverloadStorm:
     def __init__(self, connections=100, puts_per_conn=6, keys_per_conn=2,
                  value_size=1400, pool_slots=256, slab_slots=None,
                  contain=True, zero_copy=False, stalls=4,
-                 storm_faults=True, seed=1, max_events=20_000_000):
+                 storm_faults=True, seed=1, max_events=20_000_000,
+                 reaper_idle_ns=None):
         self.connections = connections
         self.puts_per_conn = puts_per_conn
         self.keys_per_conn = keys_per_conn
@@ -212,6 +213,7 @@ class OverloadStorm:
         self.storm_faults = storm_faults
         self.seed = seed
         self.max_events = max_events
+        self.reaper_idle_ns = reaper_idle_ns
 
         self.overload = OverloadController() if contain else None
         self.testbed = make_testbed(
@@ -229,6 +231,8 @@ class OverloadStorm:
         self.sim = self.testbed.sim
         self.client = self.testbed.client
         self.server = self.testbed.server
+        if reaper_idle_ns is not None:
+            self.server.stack.enable_idle_reaper(reaper_idle_ns)
         self.report = ChaosReport()
         self._rng = random.Random(seed)
 
@@ -339,7 +343,9 @@ class OverloadStorm:
             # Abort after the fault squall clears (60 ms): a RST is never
             # retransmitted, so one lost to the squall would leave the
             # server connection half-open with the partial request pinned
-            # — a TCP property (no keepalive here), not a containment bug.
+            # — a TCP property, not a containment bug.  The server-side
+            # idle reaper (NetworkStack.enable_idle_reaper, opt in via
+            # reaper_idle_ns=) bounds that pin to the idle timeout.
             stall = _StallConn(self, stall_id, self.value_size,
                                stall_ns=70 * MILLIS)
             core = self.client.cpus[stall_id % len(self.client.cpus)]

@@ -1,0 +1,192 @@
+"""PMSan: one unit test per violation class, plus the NoveLSM gate.
+
+The integration contract mirrors the linter's planted-bug discipline
+at runtime: the real persistent-memtable put path must come out
+flush/fence-clean under a strict sanitizer, and a deliberately
+mutated copy (node persist skipped — the link-before-persist bug) must
+be flagged.  Tests that plant violations on purpose carry
+``no_pmsan`` so the suite-wide ``--pmsan`` lane does not double-report
+them.
+"""
+
+import gc
+import struct
+
+import pytest
+
+from repro.analysis.pmsan import PMSan, main as pmsan_main
+from repro.net.checksum import crc32c
+from repro.net.pktbuf import PktBuf
+from repro.net.pool import BufferPool
+from repro.pm.device import PMDevice
+from repro.sim.context import NULL_CONTEXT
+from repro.storage.skiplist import RegionSkipList
+
+
+def rules_of(report):
+    return {finding.rule for finding in report.findings}
+
+
+class TestViolationClasses:
+    def test_clean_persist_before_link_protocol(self):
+        with PMSan(strict=True) as san:
+            device = PMDevice(16 * 1024, name="t-clean")
+            device.write(0, b"node")
+            device.persist(0, 64, NULL_CONTEXT)
+            device.write(128, b"link")
+            device.persist(128, 64, NULL_CONTEXT)
+            assert device.is_durable(0, 64)
+        assert san.report.ok, san.report.summary()
+        assert not san.report.diagnostics
+
+    def test_unflushed_store_at_fence(self):
+        with PMSan(strict=True) as san:
+            device = PMDevice(16 * 1024, name="t-ordering")
+            device.write(0, b"node")                  # never flushed
+            device.write(128, b"link")
+            device.flush(128, 64, NULL_CONTEXT)
+            device.fence(NULL_CONTEXT)
+        assert "PM-S04" in rules_of(san.report)
+        assert "PM-S01" in rules_of(san.report)
+
+    def test_flush_without_fence_at_durability_check(self):
+        with PMSan(strict=True) as san:
+            device = PMDevice(16 * 1024, name="t-unfenced")
+            device.write(0, b"record")
+            device.flush(0, 64, NULL_CONTEXT)
+            device.is_durable(0, 64)                   # pending, no fence
+        assert "PM-S02" in rules_of(san.report)
+
+    def test_pending_lines_at_crash(self):
+        with PMSan(strict=True) as san:
+            device = PMDevice(16 * 1024, name="t-crash")
+            device.write(0, b"record")
+            device.flush(0, 64, NULL_CONTEXT)
+            device.crash()
+        assert "PM-S02" in rules_of(san.report)
+
+    def test_redundant_flush_is_diagnostic_only(self):
+        with PMSan(strict=True) as san:
+            device = PMDevice(16 * 1024, name="t-redundant")
+            device.write(0, b"x")
+            device.flush(0, 64, NULL_CONTEXT)
+            device.flush(0, 64, NULL_CONTEXT)          # zero lines
+            device.fence(NULL_CONTEXT)
+        assert san.report.ok
+        assert {f.rule for f in san.report.diagnostics} == {"PM-S03"}
+
+    @pytest.mark.no_pmsan
+    def test_refcount_leak_detected(self):
+        with PMSan() as san:
+            device = PMDevice(64 * 1024, name="t-leak")
+            pool = BufferPool(device.region(0, 64 * 1024), slot_size=2048,
+                              name="t-leak-pool")
+            pkt = PktBuf.alloc(pool)
+            del pkt                                    # no release()
+            gc.collect()
+        findings = [f for f in san.report.findings if f.rule == "PM-S05"]
+        assert len(findings) == 1
+        # The leak is attributed to this test, not to pool internals.
+        assert "test_analysis_pmsan" in (findings[0].path or "")
+
+    def test_released_handle_is_clean(self):
+        with PMSan() as san:
+            device = PMDevice(64 * 1024, name="t-ok")
+            pool = BufferPool(device.region(0, 64 * 1024), slot_size=2048,
+                              name="t-ok-pool")
+            pkt = PktBuf.alloc(pool)
+            pkt.release()
+            del pkt
+            gc.collect()
+        assert san.report.ok, san.report.summary()
+
+    @pytest.mark.no_pmsan
+    def test_crash_epoch_exempts_buffers_lost_to_power_cycle(self):
+        with PMSan() as san:
+            device = PMDevice(64 * 1024, name="t-epoch")
+            pool = BufferPool(device.region(0, 64 * 1024), slot_size=2048,
+                              name="t-epoch-pool")
+            pkt = PktBuf.alloc(pool)
+            device.crash()                             # power cycle
+            del pkt                                    # not a leak: epoch moved
+            gc.collect()
+        assert san.report.ok, san.report.summary()
+
+    def test_suite_mode_does_not_arm_fence_checks(self):
+        with PMSan(strict=False) as san:
+            device = PMDevice(16 * 1024, name="t-suite")
+            device.write(0, b"node")
+            device.write(128, b"link")
+            device.flush(128, 64, NULL_CONTEXT)
+            device.fence(NULL_CONTEXT)
+        assert san.report.ok
+
+    def test_attach_watches_preexisting_device(self):
+        device = PMDevice(16 * 1024, name="t-preexisting")
+        with PMSan(strict=True) as san:
+            san.attach(device)
+            device.write(0, b"node")
+            device.write(128, b"link")
+            device.flush(128, 64, NULL_CONTEXT)
+            device.fence(NULL_CONTEXT)
+        assert "PM-S04" in rules_of(san.report)
+
+    def test_self_test_entry_point(self, capsys):
+        assert pmsan_main(["--self-test"]) == 0
+        capsys.readouterr()
+
+
+def skipped_persist_write_node(slist, key, value, height, flags, seq,
+                               nexts, ctx):
+    """``_write_node`` with the persist dropped — the planted bug.
+
+    Byte-for-byte the real encoding; only the ``region.persist`` call
+    is missing, so the level-0 link in ``insert`` commits a node whose
+    lines are still dirty.
+    """
+    size = slist._node_size(len(key), len(value), height)
+    node_off = slist._alloc_node(size, ctx)
+    header20 = struct.pack(
+        "<HIBBQI", len(key), len(value), height, flags, seq, crc32c(value)
+    )
+    node_crc = slist._node_crc(header20, key)
+    blob = (
+        header20
+        + struct.pack("<I", node_crc)
+        + b"".join(struct.pack("<Q", nxt) for nxt in nexts)
+        + key
+        + value
+    )
+    slist.region.write(node_off, blob)
+    return node_off
+
+
+class TestNoveLSMPutPath:
+    """Strict-mode gate over the real persistent memtable."""
+
+    SIZE = 1 << 20
+
+    def test_put_path_is_flush_fence_clean(self):
+        with PMSan(strict=True) as san:
+            device = PMDevice(self.SIZE, name="memtable")
+            slist = RegionSkipList.create(
+                device.region(0, self.SIZE, "mt"), seed=7
+            )
+            for index in range(64):
+                slist.insert(f"key-{index:04d}".encode(),
+                             f"value-{index}".encode() * 8)
+            assert slist.get(b"key-0031") is not None
+        failures = [f.format() for f in san.report.failures]
+        assert not failures, "\n".join(failures)
+
+    def test_mutated_put_path_is_flagged(self, monkeypatch):
+        with PMSan(strict=True) as san:
+            device = PMDevice(self.SIZE, name="memtable-marred")
+            slist = RegionSkipList.create(
+                device.region(0, self.SIZE, "mt"), seed=7
+            )
+            monkeypatch.setattr(
+                RegionSkipList, "_write_node", skipped_persist_write_node
+            )
+            slist.insert(b"key", b"value")
+        assert "PM-S04" in rules_of(san.report), san.report.summary()
