@@ -93,6 +93,48 @@ def run_table1(duration_ns=3_000_000.0, warmup_ns=500_000.0, value_size=1024):
     )
 
 
+def run_live_crosscheck(duration_ns=3_000_000.0, warmup_ns=500_000.0,
+                        value_size=1024):
+    """Cross-check the offline accounting against the live trace recorder.
+
+    Runs the same NoveLSM PUT workload with ``metrics=True`` and returns
+    ``(offline, live)`` — two dicts of per-request microseconds keyed by
+    Table 1 row.  The offline side divides the server's cumulative CPU
+    accounting by the request count; the live side is the span-based
+    breakdown a production server would export (``repro-stats --table1``).
+    The two take completely different paths through the code, so
+    agreement (within a few percent; spans exclude partial slices at the
+    window edges) validates both.
+    """
+    from repro.storage import ServerConfig
+
+    config = ServerConfig(engine="novelsm", metrics=True)
+    testbed = make_testbed(config=config)
+    wrk = WrkClient(
+        testbed.client, "10.0.0.1", connections=1, value_size=value_size,
+        duration_ns=duration_ns, warmup_ns=warmup_ns,
+    )
+    stats = wrk.run()
+
+    puts = max(1, testbed.kv.stats["puts"])
+    acct = testbed.server.accounting
+    per_request = lambda category: ns_to_us(acct.category(category) / puts)
+    offline = {
+        "prep": per_request("datamgmt.prep"),
+        "checksum": per_request("datamgmt.checksum"),
+        "copy": per_request("datamgmt.copy"),
+        "alloc_insert": per_request("datamgmt.insert"),
+        "persistence": per_request("persist") + per_request("pm.flush"),
+        "total": stats.avg_rtt_us,
+    }
+
+    table1 = testbed.recorder.table1()
+    live = {key: ns_to_us(table1[key])
+            for key in ("prep", "checksum", "copy", "alloc_insert",
+                        "persistence", "total")}
+    return offline, live
+
+
 def render(result):
     rows = []
     for label, key, measured in result.rows():
@@ -105,8 +147,23 @@ def render(result):
     )
 
 
+def render_crosscheck(offline, live):
+    rows = [(key, us(offline[key]), us(live[key]),
+             pct_delta(live[key], offline[key]))
+            for key in offline]
+    return format_table(
+        "Offline accounting vs live trace recorder (µs per request)",
+        ["Row", "offline", "live", "delta"],
+        rows,
+    )
+
+
 def main():
+    import sys
+
     print(render(run_table1()))
+    if "--crosscheck" in sys.argv[1:]:
+        print(render_crosscheck(*run_live_crosscheck()))
 
 
 if __name__ == "__main__":

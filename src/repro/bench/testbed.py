@@ -28,14 +28,7 @@ from repro.net.stack import Host
 from repro.pm.device import PMDevice
 from repro.pm.namespace import PMNamespace
 from repro.sim.engine import Simulator
-from repro.storage.engines import (
-    LevelDBEngine,
-    NoveLSMEngine,
-    NullEngine,
-    RawPMEngine,
-)
-from repro.storage.kvserver import KVServer
-from repro.storage.lsm import leveldb_store, novelsm_store
+from repro.storage.server import ServerConfig, serve
 
 SERVER_IP = "10.0.0.1"
 CLIENT_IP = "10.0.0.2"
@@ -50,7 +43,8 @@ PASTE_POOL_BYTES = 16 << 20
 class Testbed:
     """Handles to everything the experiments touch."""
 
-    def __init__(self, sim, fabric, server, client, engine, kv, pm_device, pm_ns):
+    def __init__(self, sim, fabric, server, client, engine, kv, pm_device,
+                 pm_ns, config=None, overload=None, recorder=None):
         self.sim = sim
         self.fabric = fabric
         self.server = server
@@ -59,29 +53,68 @@ class Testbed:
         self.kv = kv
         self.pm_device = pm_device
         self.pm_ns = pm_ns
+        #: The ServerConfig the server side was built from.
+        self.config = config
+        #: OverloadController (None unless the config asked for one).
+        self.overload = overload
+        #: repro.obs Recorder (None unless the config asked for metrics).
+        self.recorder = recorder
+
+    @property
+    def metrics(self):
+        """The live MetricsRegistry, or None when metrics are off."""
+        return self.recorder.registry if self.recorder is not None else None
 
 
-def make_testbed(engine="novelsm", server_features=None, client_features=None,
+def make_testbed(engine=None, server_features=None, client_features=None,
                  fabric_kwargs=None, pm_bytes=PM_BYTES, engine_kwargs=None,
-                 paste=True, memtable_arena=48 << 20, transport="tcp",
-                 server_cores=1, pm_device=None,
-                 paste_pool_bytes=PASTE_POOL_BYTES, kv_kwargs=None):
-    """Build the two-host testbed with the requested storage engine.
+                 paste=True, memtable_arena=None, transport=None,
+                 server_cores=None, pm_device=None,
+                 paste_pool_bytes=PASTE_POOL_BYTES, kv_kwargs=None,
+                 config=None):
+    """Build the two-host testbed from a :class:`ServerConfig`.
 
-    ``transport="homa"`` serves the same engine over the Homa-like
-    message transport (§5.2) instead of HTTP-over-TCP.
-    ``server_cores`` lifts the paper's one-core restriction for the
-    multicore ablation (§3: more cores shift, not remove, the queues).
-    ``pm_device`` injects a pre-built persistent device (e.g. a
-    recording device from ``repro.testing``) in place of the default
-    Optane model; ``pm_bytes`` is ignored when it is given.
-    ``paste_pool_bytes`` sizes the PM packet pool — the overload tests
-    shrink it until a connection burst exhausts it.  ``kv_kwargs``
-    passes through to the KV server (``zero_copy_get``, ``overload``,
-    ``contain_errors``).
+    ``config=`` is the one knob for everything server-shaped —
+    transport, engine, cores, overload policy, zero-copy GET, idle
+    reaper, metrics.  The remaining keywords cover the *world* around
+    the server: NIC features, fabric parameters, PM device/sizing,
+    whether the rx pool lives in PM (``paste``).
+
+    The pre-config keywords (``engine=``, ``transport=``,
+    ``server_cores=``, ``memtable_arena=``, ``engine_kwargs=``,
+    ``kv_kwargs=``) still work as a deprecation shim — they are folded
+    into a config — but may not be combined with ``config=``.
     """
-    engine_kwargs = dict(engine_kwargs or {})
-    kv_kwargs = dict(kv_kwargs or {})
+    legacy = {
+        "engine": engine, "transport": transport,
+        "server_cores": server_cores, "memtable_arena": memtable_arena,
+        "engine_kwargs": engine_kwargs, "kv_kwargs": kv_kwargs,
+    }
+    used_legacy = {k: v for k, v in legacy.items() if v is not None}
+    if config is None:
+        kv_kwargs = dict(kv_kwargs or {})
+        config = ServerConfig(
+            engine=engine or "novelsm",
+            transport=transport or "tcp",
+            cores=server_cores or 1,
+            memtable_arena=memtable_arena if memtable_arena is not None
+            else 48 << 20,
+            engine_kwargs=dict(engine_kwargs or {}),
+            zero_copy_get=kv_kwargs.pop("zero_copy_get", False),
+            contain_errors=kv_kwargs.pop("contain_errors", True),
+            overload=kv_kwargs.pop("overload", None),
+        )
+        if kv_kwargs:
+            raise TypeError(
+                f"unknown kv_kwargs {sorted(kv_kwargs)} — use ServerConfig"
+            )
+    elif used_legacy:
+        raise TypeError(
+            f"pass either config= or the legacy keywords, not both "
+            f"(got {sorted(used_legacy)})"
+        )
+    config.validate()
+
     sim = Simulator()
     fabric = Fabric(sim, **(fabric_kwargs or {}))
 
@@ -96,8 +129,8 @@ def make_testbed(engine="novelsm", server_features=None, client_features=None,
         rx_pool_region = pm_ns.create("paste-pktbufs", paste_pool_bytes)
 
     server = Host(
-        sim, "server", SERVER_IP, fabric, CostModel.paste(), cores=server_cores,
-        rx_pool_region=rx_pool_region, busy_poll=True,
+        sim, "server", SERVER_IP, fabric, CostModel.paste(),
+        cores=config.cores, rx_pool_region=rx_pool_region, busy_poll=True,
         nic_features=server_features or NicFeatures(),
     )
     client = Host(
@@ -106,42 +139,15 @@ def make_testbed(engine="novelsm", server_features=None, client_features=None,
         nic_features=client_features or NicFeatures(),
     )
 
-    store_engine = _make_engine(engine, server, pm_ns, memtable_arena, engine_kwargs)
-    if transport == "homa":
-        from repro.storage.kvserver import HomaKVServer
-
-        kv = HomaKVServer(server, store_engine, port=80, **kv_kwargs)
-    else:
-        kv = KVServer(server, store_engine, port=80, **kv_kwargs)
-    return Testbed(sim, fabric, server, client, store_engine, kv, pm_device, pm_ns)
-
-
-def _make_engine(engine, server, pm_ns, memtable_arena, engine_kwargs):
-    if engine == "null":
-        return NullEngine()
-    if engine == "rawpm":
-        region = pm_ns.create("rawpm-ring", 96 << 20)
-        return RawPMEngine(region, server.costs)
-    if engine == "leveldb-ssd":
-        from repro.pm.device import DRAMDevice
-        from repro.storage.blockdev import BlockDevice
-
-        dram = DRAMDevice(256 << 20, name="server-dram")
-        ssd = BlockDevice(512 << 20, name="server-ssd")
-        store = leveldb_store(dram, ssd, arena_size=32 << 20)
-        return LevelDBEngine(store, server.costs)
-    if engine in ("novelsm", "novelsm-nopersist"):
-        store = novelsm_store(pm_ns, arena_size=memtable_arena)
-        return NoveLSMEngine(
-            store, server.costs,
-            persistence=(engine == "novelsm"),
-            **engine_kwargs,
-        )
-    if engine == "pktstore":
-        from repro.core.pktstore import PacketStoreEngine
-
-        return PacketStoreEngine.build(server, pm_ns, **engine_kwargs)
-    raise ValueError(f"unknown engine {engine!r}")
+    handle = serve(server, config, pm_ns=pm_ns)
+    if handle.recorder is not None:
+        # The testbed owns both ends of the wire, so the registry can
+        # account the full RTT: client slices + fabric frames included.
+        handle.recorder.attach_host(client, "client")
+        handle.recorder.attach_fabric(fabric)
+    return Testbed(sim, fabric, server, client, handle.engine, handle.kv,
+                   pm_device, pm_ns, config=config, overload=handle.overload,
+                   recorder=handle.recorder)
 
 
 def preload(testbed, entries, value_size=1024, key_prefix="warm"):

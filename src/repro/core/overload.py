@@ -134,7 +134,7 @@ class OverloadController:
         self._drain_scheduled = False
         self.stats = {
             "shed": 0, "deferred": 0, "replayed": 0, "reclaims": 0,
-            "reclaimed": 0, "pressure_transitions": 0,
+            "reclaimed": 0, "pressure_transitions": 0, "degrade_decisions": 0,
         }
 
     # -- wiring ---------------------------------------------------------------
@@ -192,7 +192,10 @@ class OverloadController:
 
     def should_degrade_zero_copy(self):
         """True while GETs should answer from the copy path."""
-        return self.degrade_zero_copy and self.under_pressure
+        degrade = self.degrade_zero_copy and self.under_pressure
+        if degrade:
+            self.stats["degrade_decisions"] += 1
+        return degrade
 
     # -- reclamation ----------------------------------------------------------
 

@@ -87,6 +87,8 @@ class Fabric:
         self._ports = {}      # ip -> (nic, uplink Link, downlink Link)
         self.frames = 0
         self.bytes = 0
+        #: Optional live-observability hook (repro.obs.Recorder).
+        self.recorder = None
 
     def register(self, nic):
         """Attach a NIC; its IP becomes its fabric address."""
@@ -115,6 +117,8 @@ class Fabric:
             at_switch = uplink.transmit(self.sim.now, len(data))
             at_switch += self.switch_ns
             arrival = downlink.transmit(at_switch, len(data))
+            if self.recorder is not None:
+                self.recorder.record_wire(arrival + extra_delay - self.sim.now)
             self.sim.at(arrival + extra_delay, dst_nic.on_wire, data)
 
     def one_way_latency_ns(self, nbytes):

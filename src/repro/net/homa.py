@@ -63,6 +63,21 @@ HOMA_MSS = 1452
 RESEND_TIMEOUT = 5 * MILLIS
 MAX_RESENDS = 10
 
+#: Sender timeout before retransmitting an unacknowledged message.
+#: Receiver-driven RESEND only works once the receiver has seen at
+#: least one DATA packet; a message lost *in its entirety* (every
+#: packet dropped on the wire, or never built for want of a tx buffer)
+#: leaves the receiver with no state to recover from, so the sender
+#: must own that case — as real Homa's sender timeout does.
+SEND_TIMEOUT = 5 * MILLIS
+MAX_SEND_RETRIES = 10
+
+#: Completed-RPC memory: a request whose MSG_ACK was lost is
+#: retransmitted by the sender; re-running the handler would duplicate
+#: the request, so the receiver remembers recently completed RPCs and
+#: answers retransmits with a fresh ACK instead.
+COMPLETED_MEMORY = 4096
+
 #: Homa's streamlined datapath, as a fraction of the TCP per-segment cost.
 HOMA_COST_SCALE = 0.5
 
@@ -115,7 +130,8 @@ class _OutMessage:
     """Sender-side state for one outgoing message."""
 
     __slots__ = ("rpc_id", "dst_ip", "sport", "dport", "data", "sent",
-                 "granted", "acked", "packets")
+                 "granted", "acked", "packets", "ranges", "retry_timer",
+                 "retries")
 
     def __init__(self, rpc_id, dst_ip, sport, dport, data):
         self.rpc_id = rpc_id
@@ -128,6 +144,13 @@ class _OutMessage:
         self.acked = False
         #: offset -> retained clone, kept until the message is ACKed.
         self.packets = {}
+        #: offset -> length of every range originally transmitted; the
+        #: sender-timeout retransmit replays these exact ranges so the
+        #: receiver's offset-keyed dedup recognises them (grant windows
+        #: cut non-MSS-aligned boundaries, so re-chunking would overlap).
+        self.ranges = {}
+        self.retry_timer = None
+        self.retries = 0
 
 
 class _InMessage:
@@ -201,12 +224,14 @@ class HomaTransport:
         self._reply_waiters = {}      # rpc_id -> callback(message, ctx)
         self._out = {}                # rpc_id -> _OutMessage (latest per id)
         self._in = {}                 # (peer_ip, rpc_id, dport) -> _InMessage
+        self._completed = {}          # recently completed keys (dedup memory)
         self._rpc_counter = (host.ip & 0xFFFF) << 32
         self._ephemeral = 52_000
         self.stats = {
             "tx_data": 0, "rx_data": 0, "grants": 0, "resends": 0,
             "messages_delivered": 0, "bad_csum": 0,
-            "tx_dropped_nobuf": 0,
+            "tx_dropped_nobuf": 0, "send_retries": 0, "send_give_ups": 0,
+            "dup_completed": 0,
         }
 
     # -- application surface ----------------------------------------------------
@@ -237,6 +262,38 @@ class HomaTransport:
         message = _OutMessage(rpc_id, dst_ip, sport, dport, bytes(data))
         self._out[rpc_id] = message
         self._pump(message, ctx)
+        self._arm_retry(message)
+
+    def _arm_retry(self, message):
+        if message.retry_timer is not None:
+            message.retry_timer.cancel()
+        message.retry_timer = self.sim.schedule(
+            SEND_TIMEOUT, self._on_send_timeout, message.rpc_id
+        )
+
+    def _on_send_timeout(self, rpc_id):
+        message = self._out.get(rpc_id)
+        if message is None or message.acked:
+            return
+        message.retry_timer = None
+        message.retries += 1
+        if message.retries > MAX_SEND_RETRIES:
+            # Peer is gone; stop holding clones for a lost cause.
+            self.stats["send_give_ups"] += 1
+            del self._out[rpc_id]
+            for clone in message.packets.values():
+                clone.release()
+            message.packets.clear()
+            return
+        self.stats["send_retries"] += 1
+
+        def resend(ctx):
+            for offset in sorted(message.ranges):
+                self._send_data(message, offset, message.ranges[offset],
+                                ctx, retransmit=True)
+
+        self.host.process_on_core(self.core_for_rpc(rpc_id), resend)
+        self._arm_retry(message)
 
     def _pump(self, message, ctx):
         """Transmit everything currently granted."""
@@ -246,6 +303,8 @@ class HomaTransport:
             message.sent += take
 
     def _send_data(self, message, offset, length, ctx, retransmit=False):
+        if not retransmit:
+            message.ranges[offset] = length
         header = HomaHeader(
             DATA, message.sport, message.dport, message.rpc_id,
             offset=offset, msg_len=len(message.data), payload_len=length,
@@ -306,7 +365,30 @@ class HomaTransport:
         return out
 
     def core_for_packet(self, pkt):
-        return self.host.cpus[0]
+        """RSS: steer by RPC id so one message reassembles on one core.
+
+        Homa has no connections, so the TCP trick (follow the socket's
+        core) doesn't apply; hashing the RPC id keeps every DATA/GRANT/
+        RESEND/ACK of an RPC — and the server handler it completes into
+        — on a stable core, which is what lets ``cores=N`` servers
+        spread independent RPCs without splitting one message's
+        reassembly state across slices.
+        """
+        cpus = self.host.cpus
+        if len(cpus) == 1 or \
+                pkt.data_len < ETH_HEADER_LEN + IPV4_HEADER_LEN + HOMA_HEADER_LEN:
+            return cpus[0]
+        raw = pkt.linear_bytes()
+        try:
+            header = HomaHeader.unpack(raw[ETH_HEADER_LEN + IPV4_HEADER_LEN:])
+        except (struct.error, ValueError):
+            return cpus[0]
+        return cpus[header.rpc_id % len(cpus)]
+
+    def core_for_rpc(self, rpc_id):
+        """The core :meth:`core_for_packet` steers this RPC's packets to."""
+        cpus = self.host.cpus
+        return cpus[rpc_id % len(cpus)]
 
     # -- receive side ---------------------------------------------------------------
 
@@ -350,6 +432,14 @@ class HomaTransport:
     def _rx_data(self, pkt, ip_header, header, ctx):
         self.stats["rx_data"] += 1
         key = (ip_header.src, header.rpc_id, header.dport)
+        if key in self._completed:
+            # The sender retransmitted a message we already delivered —
+            # its MSG_ACK was lost.  Re-ACK; never re-run the handler.
+            self.stats["dup_completed"] += 1
+            self._send_control(MSG_ACK, ip_header.src, header.dport,
+                               header.sport, header.rpc_id, 0,
+                               header.msg_len, ctx)
+            return
         message = self._in.get(key)
         if message is None:
             message = _InMessage(header.rpc_id, ip_header.src, header.sport,
@@ -385,6 +475,11 @@ class HomaTransport:
             message.resend_timer.cancel()
             message.resend_timer = None
         del self._in[key]
+        self._completed[key] = True
+        if len(self._completed) > COMPLETED_MEMORY:
+            # Bounded memory: evict the oldest completion records.
+            for old in list(self._completed)[:COMPLETED_MEMORY // 4]:
+                del self._completed[old]
         self.stats["messages_delivered"] += 1
         # Tell the sender it can drop its retained clones.
         self._send_control(MSG_ACK, message.peer_ip, message.dport,
@@ -429,6 +524,9 @@ class HomaTransport:
         if message is None:
             return
         message.acked = True
+        if message.retry_timer is not None:
+            message.retry_timer.cancel()
+            message.retry_timer = None
         for clone in message.packets.values():
             clone.release()
         message.packets.clear()
@@ -462,7 +560,7 @@ class HomaTransport:
                                    message.sport, message.rpc_id, offset,
                                    length, ctx)
 
-        self.host.process_on_core(self.host.cpus[0], ask)
+        self.host.process_on_core(self.core_for_rpc(message.rpc_id), ask)
         self._arm_resend(key, message)
 
     def __repr__(self):

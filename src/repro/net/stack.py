@@ -474,6 +474,9 @@ class Host:
         #: Aggregate of every processing slice's charges (the Table 1
         #: harness divides this by the request count for per-request rows).
         self.accounting = ExecutionContext()
+        #: Optional live-observability hook (repro.obs.Recorder); None
+        #: keeps the hot path allocation- and branch-cheap.
+        self.recorder = None
 
         # Packet memory: tx always DRAM; rx DRAM unless a PM region is
         # supplied (PASTE mode).
@@ -546,6 +549,8 @@ class Host:
         hooks = self._completion_hooks[hooks_before:]
         del self._completion_hooks[hooks_before:]
         t_end = core.execute(start if start is not None else self.sim.now, ctx.elapsed)
+        if self.recorder is not None:
+            self.recorder.record_slice(self, core, ctx, t_end)
         for pkt, dst_ip in out_packets:
             self.sim.at(t_end, self.nic.transmit, pkt, dst_ip)
         for hook in hooks:

@@ -1,0 +1,49 @@
+"""Live observability: metrics registry + per-request stage tracing.
+
+The bench harness (:mod:`repro.bench.table1`) reproduces the paper's
+Table 1 *offline*.  This package makes the running system emit the
+same breakdown **live**: a :class:`~repro.obs.registry.MetricsRegistry`
+of sim-clock counters/gauges/histograms, a
+:class:`~repro.obs.trace.Recorder` that hosts, the fabric and the KV
+dispatch layer report into through nullable hooks (zero cost when no
+recorder is attached), and the ``repro-stats`` CLI
+(:mod:`repro.obs.cli`) to run a workload and export/print the result.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and CLI usage.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.stages import (
+    STAGE_DATAMGMT,
+    STAGE_NETWORKING,
+    STAGE_OTHER,
+    STAGE_PERSISTENCE,
+    STAGES,
+    classify,
+    fold,
+)
+from repro.obs.trace import Recorder, Span, TraceRing
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS_NS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "STAGES",
+    "STAGE_NETWORKING",
+    "STAGE_DATAMGMT",
+    "STAGE_PERSISTENCE",
+    "STAGE_OTHER",
+    "classify",
+    "fold",
+    "Recorder",
+    "Span",
+    "TraceRing",
+]

@@ -1,0 +1,280 @@
+"""``repro-stats``: run a live workload and report what the server saw.
+
+Where ``repro-table1`` reproduces the paper's breakdown *offline* (cost
+accounting divided by request count, after the fact), this CLI drives a
+real server — TCP or Homa, any engine, any core count — with the
+observability layer attached and reports from the **live registry**:
+the three-class stage breakdown per request, per-core utilisation and
+queueing, pool occupancy, and the request-span ring.
+
+Examples::
+
+    repro-stats --table1                      # live Table 1 vs paper
+    repro-stats --transport homa --cores 4    # Homa, multicore
+    repro-stats --storm --json -              # chaos storm, snapshot JSON
+    repro-stats --trace 5                     # last 5 request spans
+
+``--json`` emits a single JSON document (``{"workload", "snapshot",
+"table1", "trace"}``) that CI schema-checks; everything else prints
+human-readable tables.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.sim.units import ns_to_us
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-stats",
+        description="Run a short workload with live metrics attached and "
+                    "export or pretty-print the registry snapshot, the "
+                    "live Table-1 stage breakdown and the trace ring.",
+    )
+    workload = parser.add_argument_group("workload")
+    workload.add_argument("--engine", default="novelsm",
+                          help="storage engine (default: novelsm)")
+    workload.add_argument("--transport", choices=("tcp", "homa"),
+                          default="tcp", help="server transport")
+    workload.add_argument("--cores", type=int, default=1,
+                          help="server cores (default: 1)")
+    workload.add_argument("--connections", type=int, default=1,
+                          help="closed-loop connections (default: 1)")
+    workload.add_argument("--value-size", type=int, default=1024,
+                          help="PUT value bytes (default: 1024, Table 1)")
+    workload.add_argument("--method", choices=("PUT", "GET"), default="PUT",
+                          help="request type (default: PUT)")
+    workload.add_argument("--duration-us", type=float, default=20_000.0,
+                          help="measured window, µs of sim time "
+                               "(default: 20000)")
+    workload.add_argument("--warmup-us", type=float, default=5_000.0,
+                          help="warmup before measuring (default: 5000)")
+    workload.add_argument("--zero-copy", action="store_true",
+                          help="zero-copy GETs (TCP + pktstore engine)")
+    workload.add_argument("--overload", action="store_true",
+                          help="attach an OverloadController")
+    workload.add_argument("--storm", action="store_true",
+                          help="run the chaos overload storm instead of "
+                               "the closed-loop workload")
+    workload.add_argument("--seed", type=int, default=1,
+                          help="storm seed (with --storm)")
+
+    output = parser.add_argument_group("output")
+    output.add_argument("--table1", action="store_true",
+                        help="print the live Table-1 view against the "
+                             "paper's targets")
+    output.add_argument("--json", metavar="PATH", default=None,
+                        help="write the snapshot document as JSON "
+                             "('-' for stdout)")
+    output.add_argument("--trace", type=int, metavar="N", default=0,
+                        help="show (and include in JSON) the newest N "
+                             "request spans")
+    return parser
+
+
+def _run_wrk(args):
+    """Closed-loop wrk workload over a metrics-enabled testbed."""
+    from repro.bench.testbed import SERVER_IP, make_testbed, preload
+    from repro.bench.wrk import HomaWrkClient, WrkClient
+    from repro.storage import ServerConfig
+
+    config = ServerConfig(
+        engine=args.engine, transport=args.transport, cores=args.cores,
+        zero_copy_get=args.zero_copy, overload=True if args.overload else None,
+        metrics=True, trace_capacity=max(1024, args.trace),
+    )
+    testbed = make_testbed(config=config)
+    if args.method == "GET":
+        preload(testbed, entries=1000, value_size=args.value_size)
+    client_class = HomaWrkClient if args.transport == "homa" else WrkClient
+    wrk = client_class(
+        testbed.client, SERVER_IP, connections=args.connections,
+        value_size=args.value_size, method=args.method,
+        duration_ns=args.duration_us * 1_000.0,
+        warmup_ns=args.warmup_us * 1_000.0,
+    )
+    stats = wrk.run()
+    workload = {
+        "mode": "wrk",
+        "engine": args.engine,
+        "transport": args.transport,
+        "cores": args.cores,
+        "connections": args.connections,
+        "method": args.method,
+        "value_size": args.value_size,
+        "completed": stats.completed,
+        "avg_rtt_us": stats.avg_rtt_us,
+        "p99_rtt_us": stats.percentile_us(99),
+        "throughput_krps": stats.throughput_krps,
+    }
+    return testbed.recorder, workload
+
+
+def _run_storm(args):
+    """Chaos overload storm (always metrics-enabled)."""
+    from repro.testing.chaos import OverloadStorm
+
+    storm = OverloadStorm(transport=args.transport, cores=args.cores,
+                          zero_copy=args.zero_copy, seed=args.seed)
+    report = storm.run()
+    workload = {
+        "mode": "storm",
+        "engine": "pktstore",
+        "transport": args.transport,
+        "cores": args.cores,
+        "acked_puts": report.acked_puts,
+        "attempted_puts": report.attempted_puts,
+        "responses": {str(k): v for k, v in report.responses.items()},
+        "violations": [f"{kind}: {detail}"
+                       for kind, detail in report.violations],
+        "ok": report.ok,
+    }
+    return storm.testbed.recorder, workload
+
+
+def render_table1(recorder):
+    """Live Table-1 rows next to the paper's targets."""
+    from repro.bench.report import format_table, pct_delta, us
+    from repro.bench.table1 import PAPER
+
+    live = recorder.table1()
+    if live is None:
+        return "[stats] no completed requests — nothing to break down"
+    rows = []
+    for label, key in (
+        ("Networking (incl. wire)", "networking"),
+        ("Request preparation", "prep"),
+        ("Checksum calculation", "checksum"),
+        ("Data copy", "copy"),
+        ("Buffer allocation and insertion", "alloc_insert"),
+        ("Data management (sum)", "datamgmt"),
+        ("Flush CPU caches to PM", "persistence"),
+        ("Other", "other"),
+        ("Total", "total"),
+    ):
+        measured = ns_to_us(live[key])
+        paper = PAPER.get(key)
+        rows.append((
+            label,
+            us(paper) if paper is not None else "—",
+            us(measured),
+            pct_delta(measured, paper) if paper is not None else "—",
+        ))
+    title = (f"Live Table 1 over {live['requests']:.0f} requests "
+             f"(µs per request)")
+    return format_table(title, ["Stage", "paper", "live", "delta"], rows)
+
+
+def render_summary(recorder, workload):
+    """Human-readable digest: stages, cores, pools, request histogram."""
+    from repro.bench.report import format_table
+
+    registry = recorder.registry
+    lines = []
+    if workload["mode"] == "wrk":
+        lines.append(
+            f"[stats] {workload['method']} x{workload['completed']} over "
+            f"{workload['transport']}/{workload['engine']}: "
+            f"avg {workload['avg_rtt_us']:.2f} µs, "
+            f"p99 {workload['p99_rtt_us']:.2f} µs, "
+            f"{workload['throughput_krps']:.1f} krps"
+        )
+    else:
+        lines.append(
+            f"[stats] storm over {workload['transport']}/pktstore: "
+            f"{workload['acked_puts']}/{workload['attempted_puts']} PUTs "
+            f"acked, responses {workload['responses']}, "
+            f"{'clean' if workload['ok'] else 'VIOLATIONS'}"
+        )
+
+    requests = registry.value("server.requests")
+    if requests > 0:
+        stage_rows = []
+        for stage in ("networking", "datamgmt", "persistence", "other"):
+            total = registry.value(f"server.request.stage.{stage}_ns")
+            stage_rows.append((
+                stage,
+                f"{ns_to_us(total / requests):.2f}",
+                f"{ns_to_us(total):.1f}",
+            ))
+        lines.append(format_table(
+            f"Server stage breakdown ({requests:.0f} request spans)",
+            ["stage", "µs/req", "µs total"], stage_rows,
+        ))
+
+    core_rows = []
+    for index in range(64):
+        busy = registry.get(f"server.core{index}.busy_ns")
+        if busy is None:
+            break
+        core_rows.append((
+            f"core{index}",
+            f"{registry.value(f'server.core{index}.utilisation'):.1%}",
+            f"{ns_to_us(registry.value(f'server.core{index}.queue_ns')):.2f}",
+        ))
+    if core_rows:
+        lines.append(format_table(
+            "Server cores", ["core", "util", "queue µs"], core_rows,
+        ))
+
+    hist = registry.get("server.request_ns")
+    if hist is not None and hist.count:
+        lines.append(
+            f"[stats] request service time: mean "
+            f"{ns_to_us(hist.mean):.2f} µs, p50 "
+            f"{ns_to_us(hist.quantile(0.5)):.2f} µs, p99 "
+            f"{ns_to_us(hist.quantile(0.99)):.2f} µs "
+            f"(bucketed), n={hist.count}"
+        )
+    return "\n".join(lines)
+
+
+def render_trace(recorder, last):
+    lines = [f"[stats] newest {min(last, len(recorder.ring))} of "
+             f"{recorder.ring.appended} spans "
+             f"({recorder.ring.dropped} evicted):"]
+    for span in recorder.ring.spans(last=last):
+        stages = ", ".join(
+            f"{stage} {ns_to_us(ns):.2f}" for stage, ns in span.stages.items()
+            if ns > 0
+        ) or "zero-cost"
+        lines.append(
+            f"  t={span.t_end / 1e6:10.3f} ms  {span.kind:>6} "
+            f"{span.status}  core{span.core}  "
+            f"{ns_to_us(span.total_ns):7.2f} µs  [{stages} µs]"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    recorder, workload = (_run_storm if args.storm else _run_wrk)(args)
+
+    if args.json is not None:
+        document = {
+            "workload": workload,
+            "snapshot": recorder.registry.snapshot(),
+            "table1": recorder.table1(),
+            "trace": recorder.ring.dump(last=args.trace) if args.trace else [],
+        }
+        text = json.dumps(document, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"[stats] snapshot written to {args.json}")
+    else:
+        print(render_summary(recorder, workload))
+
+    if args.table1:
+        print(render_table1(recorder))
+    if args.trace and args.json is None:
+        print(render_trace(recorder, args.trace))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,413 @@
+"""Span-based request tracing and the live recorder.
+
+The bench harness produces Table 1 *offline*: run a workload, divide
+``host.accounting`` by the request count.  The :class:`Recorder` makes
+the same attribution **live**: hosts, the fabric and the KV dispatch
+layer call nullable hooks on their hot paths, and the recorder folds
+every charge into a :class:`~repro.obs.registry.MetricsRegistry` —
+per-stage totals (the paper's networking / data-management /
+persistence classes, see :mod:`repro.obs.stages`), per-category
+totals, per-request spans in a fixed-size ring buffer for post-mortem,
+and callback gauges over queue depth, utilisation, pools and
+connections.
+
+Overhead discipline (the tentpole requirement):
+
+- **Disabled is free.**  Every hook site is guarded by
+  ``if recorder is not None`` — one attribute load and branch, zero
+  allocation, zero metric samples.
+- **Enabled is cheap.**  A slice record is one walk over the context's
+  category dict (a handful of keys) against cached counter handles; a
+  request span is the same walk plus one ring append.  Gauges are
+  callback-backed, so keeping them "current" costs nothing between
+  snapshots.
+
+Request spans use consumed-prefix attribution: within one
+run-to-completion slice, the charges accumulated *before* the dispatch
+layer sees a request (driver/IP/TCP receive, HTTP parse) belong to
+that request; the recorder tracks how much of the context each span
+has consumed, so back-to-back requests in one slice split the slice
+correctly and response transmission lands in the span that sent it.
+"""
+
+from collections import deque
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.stages import STAGES, classify
+
+#: Ring-buffer capacity when the caller does not choose one.
+DEFAULT_TRACE_CAPACITY = 1024
+
+
+class Span:
+    """One request's lifecycle: stage-classed cost plus identity."""
+
+    __slots__ = ("kind", "status", "core", "t_end", "total_ns", "stages")
+
+    def __init__(self, kind, status, core, t_end, total_ns, stages):
+        self.kind = kind
+        self.status = status
+        self.core = core
+        self.t_end = t_end
+        self.total_ns = total_ns
+        self.stages = stages
+
+    def as_dict(self):
+        return {
+            "kind": self.kind,
+            "status": self.status,
+            "core": self.core,
+            "t_end_ns": self.t_end,
+            "total_ns": self.total_ns,
+            "stages": dict(self.stages),
+        }
+
+    def __repr__(self):
+        return (
+            f"<Span {self.kind} {self.status} core={self.core} "
+            f"total={self.total_ns:.0f}ns>"
+        )
+
+
+class TraceRing:
+    """Fixed-capacity ring of completed spans (oldest evicted first)."""
+
+    def __init__(self, capacity=DEFAULT_TRACE_CAPACITY):
+        if capacity < 1:
+            raise ValueError("trace ring needs capacity >= 1")
+        self.capacity = capacity
+        self._spans = deque(maxlen=capacity)
+        self.appended = 0
+
+    def append(self, span):
+        self._spans.append(span)
+        self.appended += 1
+
+    def __len__(self):
+        return len(self._spans)
+
+    def __iter__(self):
+        return iter(self._spans)
+
+    @property
+    def dropped(self):
+        return max(0, self.appended - self.capacity)
+
+    def spans(self, last=None):
+        items = list(self._spans)
+        return items if last is None else items[-last:]
+
+    def dump(self, last=None):
+        """JSON-ready list of the newest ``last`` spans (all by default)."""
+        return [span.as_dict() for span in self.spans(last)]
+
+    def clear(self):
+        self._spans.clear()
+        self.appended = 0
+
+
+class _HostHandles:
+    """Cached per-host counter handles so slice recording is dict-walk cheap."""
+
+    __slots__ = ("role", "stage", "category", "slices", "slice_ns")
+
+    def __init__(self, registry, role):
+        self.role = role
+        self.stage = {s: registry.counter(f"{role}.stage.{s}_ns") for s in STAGES}
+        self.category = {}
+        self.slices = registry.counter(f"{role}.slices")
+        self.slice_ns = registry.counter(f"{role}.slice_ns")
+
+
+class Recorder:
+    """The live observability hub: hosts/fabric/servers report into it.
+
+    Construct one (optionally around an existing registry), then attach
+    the pieces of the world it should watch::
+
+        recorder = Recorder(sim=testbed.sim)
+        recorder.attach_host(testbed.server, "server")
+        recorder.attach_host(testbed.client, "client")
+        recorder.attach_fabric(testbed.fabric)
+        recorder.attach_server(testbed.kv)          # request spans + kv stats
+        recorder.attach_overload(controller)        # shed/reclaim/degrade
+
+    ``repro.storage.serve`` does all of this when its config enables
+    metrics.  Everything lands in :attr:`registry`; completed request
+    spans additionally land in :attr:`ring`.
+    """
+
+    def __init__(self, sim=None, registry=None, trace_capacity=DEFAULT_TRACE_CAPACITY):
+        self.sim = sim
+        self.registry = registry if registry is not None else MetricsRegistry(sim)
+        if self.registry.sim is None and sim is not None:
+            self.registry.sim = sim
+        self.ring = TraceRing(trace_capacity)
+        self._hosts = {}          # host -> _HostHandles
+        self._busy_baseline = {}  # (host, core_index) -> busy_ns at window start
+        # Request-span consumed-prefix state (single in-flight slice:
+        # the simulator is sequential, so one cursor suffices).
+        self._span_ctx = None
+        self._span_consumed = {}
+        self._span_elapsed = 0.0
+        # Cached hot-path handles (created lazily on first use).
+        self._wire_ns = self.registry.counter("fabric.wire_ns")
+        self._wire_frames = self.registry.counter("fabric.wire_frames")
+        self._requests = self.registry.counter("server.requests")
+        self._request_ns = self.registry.histogram("server.request_ns")
+        self._request_stage = {
+            s: self.registry.counter(f"server.request.stage.{s}_ns") for s in STAGES
+        }
+        self._kind_counters = {}
+        self._status_counters = {}
+
+    # -- attachment ------------------------------------------------------------
+
+    def attach_host(self, host, role=None):
+        """Watch a host: slice recording plus core/pool/stack gauges."""
+        role = role or host.name
+        if host in self._hosts:
+            return self
+        if self.sim is None:
+            self.sim = host.sim
+            if self.registry.sim is None:
+                self.registry.sim = host.sim
+        self._hosts[host] = _HostHandles(self.registry, role)
+        host.recorder = self
+        registry = self.registry
+        sim = host.sim
+        for core in host.cpus.cores:
+            key = (host, core.index)
+            self._busy_baseline[key] = core.busy_time
+            prefix = f"{role}.core{core.index}"
+            registry.gauge(f"{prefix}.busy_ns",
+                           fn=lambda c=core: c.busy_time)
+            registry.gauge(f"{prefix}.queue_ns",
+                           fn=lambda c=core, s=sim: c.queue_delay(s.now))
+            registry.gauge(f"{prefix}.work_items",
+                           fn=lambda c=core: float(c.work_items))
+            registry.gauge(
+                f"{prefix}.utilisation",
+                fn=lambda c=core, k=key: self._utilisation(c, k),
+            )
+        registry.gauge(f"{role}.connections",
+                       fn=lambda stack=host.stack: float(stack.connection_count()))
+        for pool_name, pool in (("rx_pool", host.rx_pool), ("tx_pool", host.tx_pool)):
+            prefix = f"{role}.{pool_name}"
+            registry.gauge(f"{prefix}.in_use",
+                           fn=lambda p=pool: float(p.in_use))
+            registry.gauge(f"{prefix}.slots",
+                           fn=lambda p=pool: float(p.nslots))
+            registry.gauge(f"{prefix}.occupancy",
+                           fn=lambda p=pool: p.occupancy)
+        return self
+
+    def _utilisation(self, core, key):
+        window = self.registry.window_ns
+        if window <= 0:
+            return 0.0
+        busy = core.busy_time - self._busy_baseline.get(key, 0.0)
+        return min(1.0, max(0.0, busy / window))
+
+    def attach_fabric(self, fabric):
+        """Watch the fabric: per-frame wire time (queue + links + switch)."""
+        fabric.recorder = self
+        self.registry.gauge("fabric.frames",
+                            fn=lambda f=fabric: float(f.frames))
+        self.registry.gauge("fabric.bytes",
+                            fn=lambda f=fabric: float(f.bytes))
+        return self
+
+    def attach_server(self, kv, role="server"):
+        """Watch a KV front-end: request spans plus its stats dict."""
+        kv.recorder = self
+        for key in kv.stats:
+            self.registry.gauge(
+                f"{role}.kv.{key}",
+                fn=lambda stats=kv.stats, k=key: float(stats.get(k, 0)),
+            )
+        return self
+
+    def attach_engine(self, engine, role="engine"):
+        """Ownership gauges over a packet-native store, if the engine
+        has one: how many rx slots the store owns and how many
+        references it holds — the counts the chaos leak oracles compare
+        against the pool gauges instead of walking store internals."""
+        store = getattr(engine, "store", None)
+        if store is None:
+            return self
+        if hasattr(store, "_buffers"):
+            self.registry.gauge(
+                f"{role}.store.owned",
+                fn=lambda s=store: float(len(s._buffers)),
+            )
+        if hasattr(store, "_refs"):
+            self.registry.gauge(
+                f"{role}.store.held_refs",
+                fn=lambda s=store: float(
+                    sum(len(refs) for refs in s._refs.values())
+                ),
+            )
+        return self
+
+    def attach_overload(self, controller, role="overload"):
+        """Surface shed/reclaim/degrade decisions as snapshot values."""
+        for key in controller.stats:
+            self.registry.gauge(
+                f"{role}.{key}",
+                fn=lambda stats=controller.stats, k=key: float(stats.get(k, 0)),
+            )
+        self.registry.gauge(
+            f"{role}.under_pressure",
+            fn=lambda c=controller: 1.0 if c.under_pressure else 0.0,
+        )
+        return self
+
+    # -- hot-path hooks --------------------------------------------------------
+
+    def record_slice(self, host, core, ctx, t_end):
+        """Fold one completed processing slice into the registry."""
+        handles = self._hosts.get(host)
+        if handles is None:
+            return
+        handles.slices.inc()
+        elapsed = ctx.elapsed
+        if elapsed:
+            handles.slice_ns.inc(elapsed)
+        categories = handles.category
+        stage_counters = handles.stage
+        for category, ns in ctx.by_category.items():
+            if not ns:
+                continue
+            counter = categories.get(category)
+            if counter is None:
+                counter = self.registry.counter(
+                    f"{handles.role}.cat.{category}_ns"
+                )
+                categories[category] = counter
+            counter.inc(ns)
+            stage_counters[classify(category)].inc(ns)
+
+    def record_wire(self, ns):
+        """One frame's time on the wire (serialisation + queueing + hops)."""
+        self._wire_frames.inc()
+        self._wire_ns.inc(ns)
+
+    def request_begin(self, ctx):
+        """Mark the dispatch layer picking up a request in ``ctx``.
+
+        Charges already in the context but not consumed by an earlier
+        span in the same slice (the receive/parse prefix) will belong
+        to this request.
+        """
+        if ctx is not self._span_ctx:
+            self._span_ctx = ctx
+            self._span_consumed = {}
+            self._span_elapsed = 0.0
+
+    def request_end(self, kind, status, core, ctx):
+        """Close the current request span and record it."""
+        if ctx is not self._span_ctx:
+            # begin was never called for this slice; attribute the
+            # whole context to the span rather than dropping it.
+            self._span_consumed = {}
+            self._span_elapsed = 0.0
+        consumed = self._span_consumed
+        stages = {stage: 0.0 for stage in STAGES}
+        for category, ns in ctx.by_category.items():
+            delta = ns - consumed.get(category, 0.0)
+            if delta > 0:
+                stages[classify(category)] += delta
+        total_ns = max(0.0, ctx.elapsed - self._span_elapsed)
+        self._span_ctx = ctx
+        self._span_consumed = dict(ctx.by_category)
+        self._span_elapsed = ctx.elapsed
+        t_end = self.sim.now if self.sim is not None else 0.0
+        self.ring.append(Span(kind, status, core, t_end, total_ns, stages))
+        self._requests.inc()
+        self._request_ns.observe(total_ns)
+        for stage, ns in stages.items():
+            if ns:
+                self._request_stage[stage].inc(ns)
+        kind_counter = self._kind_counters.get(kind)
+        if kind_counter is None:
+            kind_counter = self.registry.counter(f"server.requests.{kind}")
+            self._kind_counters[kind] = kind_counter
+        kind_counter.inc()
+        status_counter = self._status_counters.get(status)
+        if status_counter is None:
+            status_counter = self.registry.counter(f"server.status.{status}")
+            self._status_counters[status] = status_counter
+        status_counter.inc()
+
+    # -- derived views ---------------------------------------------------------
+
+    def reset(self):
+        """Zero the registry and re-anchor utilisation windows."""
+        self.registry.reset()
+        self.ring.clear()
+        for (host, index), _ in list(self._busy_baseline.items()):
+            self._busy_baseline[(host, index)] = host.cpus[index].busy_time
+
+    def stage_totals(self):
+        """{stage: ns} summed over every attached host."""
+        totals = {stage: 0.0 for stage in STAGES}
+        for handles in self._hosts.values():
+            for stage, counter in handles.stage.items():
+                totals[stage] += counter.value
+        return totals
+
+    def per_request(self, name, requests=None):
+        """A counter's value divided by completed request spans."""
+        n = requests if requests is not None else self._requests.value
+        if n <= 0:
+            return 0.0
+        return self.registry.value(name) / n
+
+    def table1(self, requests=None):
+        """Live Table-1 view: per-request nanoseconds for every row.
+
+        Stage classes sum over every attached host plus wire time, so
+        with the whole testbed attached ``total`` approximates the
+        request RTT; with only the server attached it is the server-side
+        request cost.  Rows mirror :class:`repro.bench.table1.PAPER`
+        (a pure-PUT workload reproduces the paper's numbers; mixed
+        workloads get the same classes averaged over all requests).
+        """
+        n = requests if requests is not None else self._requests.value
+        if n <= 0:
+            return None
+        totals = self.stage_totals()
+        wire = self._wire_ns.value
+        rows = {
+            "requests": n,
+            "networking": (totals["networking"] + wire) / n,
+            "datamgmt": totals["datamgmt"] / n,
+            "persistence": totals["persistence"] / n,
+            "other": totals["other"] / n,
+            "wire": wire / n,
+        }
+        # Data-management sub-rows, summed over attached hosts.
+        for row, category in (
+            ("prep", "datamgmt.prep"),
+            ("checksum", "datamgmt.checksum"),
+            ("copy", "datamgmt.copy"),
+            ("alloc_insert", "datamgmt.insert"),
+        ):
+            total = 0.0
+            for handles in self._hosts.values():
+                counter = handles.category.get(category)
+                if counter is not None:
+                    total += counter.value
+            rows[row] = total / n
+        rows["total"] = (
+            rows["networking"] + rows["datamgmt"]
+            + rows["persistence"] + rows["other"]
+        )
+        return rows
+
+    def __repr__(self):
+        return (
+            f"<Recorder hosts={len(self._hosts)} "
+            f"requests={self._requests.value:.0f} ring={len(self.ring)}>"
+        )

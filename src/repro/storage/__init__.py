@@ -18,6 +18,9 @@ From bottom to top:
   benchmarks compare: null (networking-only), raw-PM copy+persist, and
   NoveLSM with the full Table 1 cost structure.
 - :mod:`repro.storage.kvserver` — the networked HTTP KV server.
+- :mod:`repro.storage.server` — :class:`ServerConfig` + :func:`serve`,
+  the unified transport-agnostic entry point that builds engine,
+  front-end, overload control and live metrics in one call.
 """
 
 from repro.storage.blockdev import BlockDevice
@@ -31,7 +34,15 @@ from repro.storage.engines import (
     NullEngine,
     RawPMEngine,
 )
-from repro.storage.kvserver import KVServer
+from repro.storage.kvserver import HomaKVServer, KVServer
+from repro.storage.server import (
+    ENGINES,
+    Server,
+    ServerConfig,
+    TRANSPORTS,
+    build_engine,
+    serve,
+)
 
 __all__ = [
     "BlockDevice",
@@ -47,4 +58,11 @@ __all__ = [
     "RawPMEngine",
     "NoveLSMEngine",
     "KVServer",
+    "HomaKVServer",
+    "ENGINES",
+    "TRANSPORTS",
+    "ServerConfig",
+    "Server",
+    "build_engine",
+    "serve",
 ]

@@ -92,6 +92,14 @@ class _RequestShed(Exception):
     """Internal: admission control refused this request (answer 503)."""
 
 
+def _status_of(response):
+    """Status code out of serialised response bytes (``HTTP/1.1 NNN ...``)."""
+    try:
+        return int(response[9:12])
+    except (ValueError, TypeError):
+        return 0
+
+
 class _KVDispatch:
     """Request dispatch + containment shared by the TCP and Homa servers.
 
@@ -114,6 +122,9 @@ class _KVDispatch:
         self.costs = host.costs
         self.contain_errors = contain_errors
         self.overload = overload
+        #: Optional live-observability hook (repro.obs.Recorder); when
+        #: None the request path pays one attribute load per request.
+        self.recorder = None
         self.stats = {"puts": 0, "gets": 0, "deletes": 0, "hits": 0,
                       "misses": 0, "bad_requests": 0, "connections": 0,
                       "zero_copy_gets": 0, "shed": 0, "contained_errors": 0,
@@ -269,20 +280,30 @@ class KVServer(_KVDispatch):
             self._handle(sock, message, ctx)
 
     def _handle(self, sock, message, ctx):
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.request_begin(ctx)
+        kind = message.method or "?"
+        status = 0  # 0 = the handler raised (containment disabled)
         try:
-            if message.method == "GET" and self.zero_copy_get and \
-                    not message.path.lstrip("/").startswith("__scan__") and \
-                    not self._should_degrade():
-                self.costs.charge_app(ctx)
-                key = (message.path or "/").lstrip("/").encode("utf-8")
-                if key:
-                    self._zero_copy_get(sock, key, ctx)
-                    return
-            response = self._dispatch(message, ctx)
+            try:
+                if message.method == "GET" and self.zero_copy_get and \
+                        not message.path.lstrip("/").startswith("__scan__") and \
+                        not self._should_degrade():
+                    self.costs.charge_app(ctx)
+                    key = (message.path or "/").lstrip("/").encode("utf-8")
+                    if key:
+                        status = self._zero_copy_get(sock, key, ctx)
+                        return
+                response = self._dispatch(message, ctx)
+            finally:
+                message.release()
+            self.costs.charge_http_build(ctx)
+            status = _status_of(response)
+            self._send_response(sock, response, ctx)
         finally:
-            message.release()
-        self.costs.charge_http_build(ctx)
-        self._send_response(sock, response, ctx)
+            if recorder is not None:
+                recorder.request_end(kind, status, sock.core.index, ctx)
 
     def _send_response(self, sock, response, ctx):
         """Transmit, tolerating a connection the client already killed."""
@@ -304,7 +325,8 @@ class KVServer(_KVDispatch):
 
     def _zero_copy_get(self, sock, key, ctx):
         """Serve a GET without copying the value: headers go out as
-        bytes, the value as frag references into the PM packet pool."""
+        bytes, the value as frag references into the PM packet pool.
+        Returns the response status for the request span."""
         store = self.engine.store
         self.stats["gets"] += 1
         record, frags = store.get_refs(bytes(key), ctx)
@@ -312,7 +334,7 @@ class KVServer(_KVDispatch):
         if record is None or record.tombstone:
             self.stats["misses"] += 1
             self._send_response(sock, build_response(404), ctx)
-            return
+            return 404
         self.stats["hits"] += 1
         self.stats["zero_copy_gets"] += 1
         head = (
@@ -320,7 +342,7 @@ class KVServer(_KVDispatch):
         ).encode("ascii")
         if sock.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
             self.stats["dropped_responses"] += 1
-            return
+            return 200
         try:
             # MSG_MORE coalesces head + value refs into full segments.
             sock.send(head, ctx, more=True)
@@ -336,6 +358,7 @@ class KVServer(_KVDispatch):
             # queued reference).
             self.stats["dropped_responses"] += 1
             sock.abort(ctx)
+        return 200
 
     def __repr__(self):
         return f"<KVServer :{self.port} engine={self.engine.name}>"
@@ -376,13 +399,24 @@ class HomaKVServer(_KVDispatch):
             rpc.reply(build_response(400, str(exc).encode("utf-8", "replace")),
                       ctx)
             return
+        recorder = self.recorder
+        core = self.transport.core_for_rpc(rpc.rpc_id).index
         for message in messages:
+            if recorder is not None:
+                recorder.request_begin(ctx)
+            kind = message.method or "?"
+            status = 0
             try:
-                response = self._dispatch(message, ctx)
+                try:
+                    response = self._dispatch(message, ctx)
+                finally:
+                    message.release()
+                self.costs.charge_http_build(ctx)
+                status = _status_of(response)
+                rpc.reply(response, ctx)
             finally:
-                message.release()
-            self.costs.charge_http_build(ctx)
-            rpc.reply(response, ctx)
+                if recorder is not None:
+                    recorder.request_end(kind, status, core, ctx)
 
     def __repr__(self):
         return f"<HomaKVServer :{self.port} engine={self.engine.name}>"

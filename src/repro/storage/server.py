@@ -1,0 +1,234 @@
+"""Unified server construction: one config, one entry point.
+
+Before this module, standing up a server meant knowing which kwargs
+each front-end took (``KVServer(zero_copy_get=...)`` vs
+``HomaKVServer`` without it), building the engine through the bench
+harness's private ``_make_engine``, wiring an
+:class:`~repro.core.overload.OverloadController` by hand, remembering
+``stack.enable_idle_reaper`` is TCP-only, and — new in this PR —
+attaching a :class:`~repro.obs.trace.Recorder` to every piece.
+:func:`serve` folds all of that behind a :class:`ServerConfig`::
+
+    from repro.storage import ServerConfig, serve
+
+    config = ServerConfig(transport="homa", engine="pktstore",
+                          cores=4, overload=True, metrics=True)
+    server = serve(host, config, pm_ns=pm_ns)
+    server.kv        # the KVServer / HomaKVServer front-end
+    server.metrics   # MetricsRegistry (None when metrics=False)
+
+The old constructors remain as the implementation layer (and for
+existing callers); new code, the testbed and the chaos harness go
+through :func:`serve`.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.overload import OverloadController
+from repro.storage.engines import (
+    LevelDBEngine,
+    NoveLSMEngine,
+    NullEngine,
+    RawPMEngine,
+)
+from repro.storage.kvserver import HomaKVServer, KVServer
+from repro.storage.lsm import leveldb_store, novelsm_store
+
+#: Engine names build_engine understands (see bench/testbed.py's table).
+ENGINES = ("null", "rawpm", "leveldb-ssd", "novelsm", "novelsm-nopersist",
+           "pktstore")
+
+TRANSPORTS = ("tcp", "homa")
+
+
+@dataclass
+class ServerConfig:
+    """Everything that shapes one KV server, in one place.
+
+    ==================  ======================================================
+    field               meaning
+    ==================  ======================================================
+    transport           ``"tcp"`` (HTTP over the TCP stack) or ``"homa"``
+                        (the §5.2 message transport)
+    engine              storage engine name (:data:`ENGINES`)
+    port                listening port
+    cores               server cores; consumed by whoever builds the
+                        :class:`~repro.net.stack.Host` (``make_testbed``),
+                        validated by :func:`serve`
+    zero_copy_get       serve GETs straight out of PM (TCP only; requires a
+                        packet-native engine)
+    contain_errors      per-request containment (docs/RESILIENCE.md)
+    overload            ``True`` builds an :class:`OverloadController`,
+                        an instance is used as-is, ``None`` disables
+                        admission control
+    reaper_idle_ns      enable the TCP idle-connection reaper at this
+                        threshold (``None`` = off; ignored for homa, which
+                        has no connections to reap)
+    metrics             attach a :class:`~repro.obs.trace.Recorder` (live
+                        Table-1 stage tracing + gauges)
+    trace_capacity      request-span ring size when metrics are on
+    memtable_arena      NoveLSM PM memtable arena bytes
+    engine_kwargs       extra engine-constructor kwargs
+    ==================  ======================================================
+    """
+
+    transport: str = "tcp"
+    engine: str = "novelsm"
+    port: int = 80
+    cores: int = 1
+    zero_copy_get: bool = False
+    contain_errors: bool = True
+    overload: object = None
+    reaper_idle_ns: float = None
+    metrics: bool = False
+    trace_capacity: int = 1024
+    memtable_arena: int = 48 << 20
+    engine_kwargs: dict = field(default_factory=dict)
+
+    def validate(self):
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport {self.transport!r} not in {TRANSPORTS}"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine {self.engine!r} not in {ENGINES}")
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.zero_copy_get and self.transport == "homa":
+            raise ValueError(
+                "zero_copy_get is a TCP send-path feature; the Homa "
+                "front-end has no zero-copy reply path yet"
+            )
+        if self.reaper_idle_ns is not None and self.reaper_idle_ns <= 0:
+            raise ValueError("reaper_idle_ns must be positive (or None)")
+        return self
+
+    def with_overrides(self, **kwargs):
+        """A copy with the given fields replaced (dataclasses.replace)."""
+        return replace(self, **kwargs)
+
+
+class Server:
+    """What :func:`serve` returns: the front-end plus its wiring."""
+
+    __slots__ = ("config", "host", "engine", "kv", "overload", "recorder")
+
+    def __init__(self, config, host, engine, kv, overload, recorder):
+        self.config = config
+        self.host = host
+        self.engine = engine
+        self.kv = kv
+        self.overload = overload
+        self.recorder = recorder
+
+    @property
+    def metrics(self):
+        """The MetricsRegistry, or None when metrics are disabled."""
+        return self.recorder.registry if self.recorder is not None else None
+
+    @property
+    def stats(self):
+        return self.kv.stats
+
+    def __repr__(self):
+        return (
+            f"<Server {self.config.transport}:{self.config.port} "
+            f"engine={self.config.engine} cores={self.config.cores}>"
+        )
+
+
+def build_engine(name, host, pm_ns=None, memtable_arena=48 << 20,
+                 engine_kwargs=None):
+    """Construct a storage engine by name, wired to ``host``.
+
+    ``pm_ns`` (a :class:`~repro.pm.namespace.PMNamespace`) is required
+    for the PM-backed engines (rawpm, novelsm*, pktstore).
+    """
+    engine_kwargs = dict(engine_kwargs or {})
+    if name == "null":
+        return NullEngine()
+    if name == "leveldb-ssd":
+        from repro.pm.device import DRAMDevice
+        from repro.storage.blockdev import BlockDevice
+
+        dram = DRAMDevice(256 << 20, name="server-dram")
+        ssd = BlockDevice(512 << 20, name="server-ssd")
+        store = leveldb_store(dram, ssd, arena_size=32 << 20)
+        return LevelDBEngine(store, host.costs)
+    if pm_ns is None:
+        raise ValueError(f"engine {name!r} needs a PM namespace (pm_ns=)")
+    if name == "rawpm":
+        region = pm_ns.create("rawpm-ring", 96 << 20)
+        return RawPMEngine(region, host.costs)
+    if name in ("novelsm", "novelsm-nopersist"):
+        store = novelsm_store(pm_ns, arena_size=memtable_arena)
+        return NoveLSMEngine(
+            store, host.costs,
+            persistence=(name == "novelsm"),
+            **engine_kwargs,
+        )
+    if name == "pktstore":
+        from repro.core.pktstore import PacketStoreEngine
+
+        return PacketStoreEngine.build(host, pm_ns, **engine_kwargs)
+    raise ValueError(f"unknown engine {name!r}")
+
+
+def serve(host, config=None, pm_ns=None, engine=None, recorder=None,
+          **overrides):
+    """Stand up a KV server on ``host`` as described by ``config``.
+
+    - ``engine`` injects a pre-built engine instance (``config.engine``
+      then only labels it); otherwise :func:`build_engine` runs.
+    - ``recorder`` reuses an existing :class:`~repro.obs.trace.Recorder`
+      (the testbed's, so client and fabric share the registry) instead
+      of creating one; it implies metrics even if the config says off.
+    - keyword ``overrides`` tweak a shared config ad hoc:
+      ``serve(host, config, port=8080)``.
+
+    Returns a :class:`Server` handle.
+    """
+    config = (config or ServerConfig())
+    if overrides:
+        config = config.with_overrides(**overrides)
+    config.validate()
+    if len(host.cpus) != config.cores:
+        raise ValueError(
+            f"config says {config.cores} core(s) but host "
+            f"{host.name!r} has {len(host.cpus)} — build the host from "
+            f"the same config (make_testbed(config=...)) or align them"
+        )
+
+    if engine is None:
+        engine = build_engine(config.engine, host, pm_ns=pm_ns,
+                              memtable_arena=config.memtable_arena,
+                              engine_kwargs=config.engine_kwargs)
+
+    overload = config.overload
+    if overload is True:
+        overload = OverloadController()
+    if overload is not None and overload.sim is None:
+        overload.sim = host.sim
+
+    if config.transport == "homa":
+        kv = HomaKVServer(host, engine, port=config.port, overload=overload,
+                          contain_errors=config.contain_errors)
+    else:
+        kv = KVServer(host, engine, port=config.port,
+                      zero_copy_get=config.zero_copy_get, overload=overload,
+                      contain_errors=config.contain_errors)
+        if config.reaper_idle_ns is not None:
+            host.stack.enable_idle_reaper(config.reaper_idle_ns)
+
+    if recorder is None and config.metrics:
+        from repro.obs.trace import Recorder
+
+        recorder = Recorder(sim=host.sim, trace_capacity=config.trace_capacity)
+    if recorder is not None:
+        recorder.attach_host(host, "server")
+        recorder.attach_server(kv)
+        recorder.attach_engine(engine)
+        if overload is not None:
+            recorder.attach_overload(overload)
+
+    return Server(config, host, engine, kv, overload, recorder)

@@ -27,10 +27,10 @@ detector detects.
 import random
 
 from repro.bench.testbed import SERVER_IP, make_testbed
-from repro.core.overload import OverloadController
 from repro.net.fabric import LinkFaults
 from repro.net.http import HttpParser, build_request
 from repro.sim.units import MILLIS
+from repro.storage.server import ServerConfig
 
 PORT = 80
 
@@ -45,6 +45,7 @@ class ChaosReport:
         self.violations = []
         self.responses = {200: 0, 503: 0, 507: 0, 400: 0, 404: 0}
         self.resets = 0
+        self.timeouts = 0
         self.crashed = None
         self.acked_puts = 0
         self.attempted_puts = 0
@@ -62,7 +63,8 @@ class ChaosReport:
     def summary(self):
         lines = [
             f"[chaos] puts acked {self.acked_puts}/{self.attempted_puts}, "
-            f"responses {dict(self.responses)}, resets {self.resets}",
+            f"responses {dict(self.responses)}, resets {self.resets}, "
+            f"timeouts {self.timeouts}",
         ]
         if self.server_stats:
             keys = ("shed", "contained_errors", "degraded_gets",
@@ -188,6 +190,95 @@ class _StallConn:
             )
 
 
+class _HomaBurstLoop:
+    """One closed-loop Homa requester: the same PUT burst as message RPCs.
+
+    Homa has no connections, so there is no stream to half-send and
+    stall — the TCP storm's stall clients have no analog here; the
+    fault squall instead lands on DATA/GRANT/ACK packets and exercises
+    the transport's sender-timeout retransmission.  A watchdog bounds
+    each RPC: if neither a reply nor the transport's give-up resolves
+    it, the loop counts a timeout and moves on, the way a real RPC
+    client would.
+    """
+
+    WATCHDOG_NS = 80 * MILLIS
+
+    def __init__(self, world, conn_id, keys, puts, value_size):
+        self.world = world
+        self.conn_id = conn_id
+        self.keys = keys
+        self.puts = puts
+        self.value_size = value_size
+        self.sent = 0
+        self.done = False
+        self.last_acked = {}        # key -> value of newest acked put
+        self.in_flight = None       # (key, value) awaiting its reply
+        self.issued_after_ack = {}  # key -> [values issued after last ack]
+        self.awaiting = None        # seq of the outstanding RPC
+        self.core = None
+
+    # The same deterministic payload pattern as the TCP burst, so the
+    # durability oracle's bookkeeping is transport-independent.
+    _value = _BurstConn._value
+
+    def start(self, ctx):
+        cpus = self.world.client.cpus
+        self.core = cpus[self.conn_id % len(cpus)]
+        self._next(ctx)
+
+    def _next(self, ctx):
+        if self.sent >= self.puts:
+            self.done = True
+            return
+        key = self.keys[self.sent % len(self.keys)]
+        value = self._value(key, self.sent)
+        self.in_flight = (key, value)
+        self.issued_after_ack.setdefault(key, []).append(value)
+        seq = self.sent
+        self.sent += 1
+        self.world.report.attempted_puts += 1
+        self.awaiting = seq
+        self.world.client.homa.send_request(
+            SERVER_IP, PORT, build_request("PUT", "/" + key.decode(), value),
+            ctx,
+            on_reply=lambda segments, c, s=seq: self._on_reply(s, segments, c),
+        )
+        self.world.sim.schedule(self.WATCHDOG_NS, self._watchdog, seq)
+
+    def _on_reply(self, seq, segments, ctx):
+        if self.awaiting != seq:
+            return  # the watchdog already moved on; late duplicate
+        self.awaiting = None
+        parser = HttpParser(is_response=True)
+        status = None
+        for segment in segments:
+            for message in parser.feed(segment):
+                status = message.status
+                message.release()
+        parser.reset()
+        if status is not None:
+            self.world.report.responses[status] = \
+                self.world.report.responses.get(status, 0) + 1
+            if self.in_flight is not None and status == 200:
+                key, value = self.in_flight
+                self.last_acked[key] = value
+                self.issued_after_ack[key] = []
+                self.world.report.acked_puts += 1
+        self.in_flight = None
+        if not self.done:
+            self._next(ctx)
+
+    def _watchdog(self, seq):
+        if self.awaiting != seq:
+            return
+        self.awaiting = None
+        self.in_flight = None
+        self.world.report.timeouts += 1
+        if not self.done:
+            self.world.client.process_on_core(self.core, self._next)
+
+
 class OverloadStorm:
     """Build the under-provisioned testbed and run the storm."""
 
@@ -195,7 +286,7 @@ class OverloadStorm:
                  value_size=1400, pool_slots=256, slab_slots=None,
                  contain=True, zero_copy=False, stalls=4,
                  storm_faults=True, seed=1, max_events=20_000_000,
-                 reaper_idle_ns=None):
+                 reaper_idle_ns=None, transport="tcp", cores=1, config=None):
         self.connections = connections
         self.puts_per_conn = puts_per_conn
         self.keys_per_conn = keys_per_conn
@@ -207,85 +298,115 @@ class OverloadStorm:
         if slab_slots is None:
             slab_slots = max(64, connections * keys_per_conn * 2)
         self.slab_slots = slab_slots
-        self.contain = contain
-        self.zero_copy = zero_copy
         self.stalls = stalls
         self.storm_faults = storm_faults
         self.seed = seed
         self.max_events = max_events
-        self.reaper_idle_ns = reaper_idle_ns
 
-        self.overload = OverloadController() if contain else None
+        # One ServerConfig shapes the whole server side; the individual
+        # kwargs are folded into one (and metrics are always on — the
+        # oracles read the gauges).
+        if config is None:
+            config = ServerConfig(
+                transport=transport,
+                engine="pktstore",
+                cores=cores,
+                zero_copy_get=zero_copy,
+                contain_errors=contain,
+                overload=True if contain else None,
+                reaper_idle_ns=(reaper_idle_ns if transport == "tcp"
+                                else None),
+                metrics=True,
+                engine_kwargs={"meta_bytes": slab_slots * 256},
+            )
+        if not config.metrics:
+            raise ValueError(
+                "OverloadStorm needs config.metrics=True: the liveness "
+                "and leak oracles read the recorder's gauges"
+            )
+        self.config = config
+        self.transport = config.transport
+        self.contain = config.contain_errors
+        self.zero_copy = config.zero_copy_get
+
         self.testbed = make_testbed(
-            engine="pktstore",
+            config=config,
             paste_pool_bytes=pool_slots * SLOT,
-            engine_kwargs={"meta_bytes": slab_slots * 256},
-            kv_kwargs={
-                "overload": self.overload,
-                "contain_errors": contain,
-                "zero_copy_get": zero_copy,
-            },
         )
-        if self.overload is not None:
-            self.overload.sim = self.testbed.sim
+        self.overload = self.testbed.overload
+        self.metrics = self.testbed.metrics
         self.sim = self.testbed.sim
         self.client = self.testbed.client
         self.server = self.testbed.server
-        if reaper_idle_ns is not None:
-            self.server.stack.enable_idle_reaper(reaper_idle_ns)
+        if self.transport == "homa":
+            self.client.enable_homa()
         self.report = ChaosReport()
         self._rng = random.Random(seed)
 
     # -- baseline / oracle ----------------------------------------------------
 
     def _capture_baseline(self):
-        store = self.testbed.engine.store
+        metrics = self.metrics
         self.baseline = {
-            "server_tx": self.server.tx_pool.in_use,
-            "client_tx": self.client.tx_pool.in_use,
-            "client_rx": self.client.rx_pool.in_use,
-            "store_owned": set(store._buffers),
+            "server_tx": metrics.value("server.tx_pool.in_use"),
+            "client_tx": metrics.value("client.tx_pool.in_use"),
+            "client_rx": metrics.value("client.rx_pool.in_use"),
         }
 
     def _check_oracles(self):
+        """Liveness and leak checks against the recorder's gauges.
+
+        The pool/store comparisons read the live metrics registry — the
+        same numbers an operator would see from ``repro-stats`` — so the
+        oracles hold for any transport and any core count without
+        knowing server internals.  Only the refcount-*exact* oracle
+        still walks the store's tables: per-slot expected-vs-actual
+        refcounts are deliberately finer than any gauge.
+        """
         report = self.report
+        metrics = self.metrics
         store = self.testbed.engine.store
+
+        # Settle: run_until_idle leaves the clock at the last *event*,
+        # which can precede the end of the last core slice by a few µs;
+        # advancing past it makes queue_ns a true stuck-work detector.
+        self.sim.run(until=self.sim.now + MILLIS)
+
+        # Liveness: at drain, no server core may still have queued work.
+        for index in range(len(self.server.cpus)):
+            queued = metrics.value(f"server.core{index}.queue_ns")
+            if queued > 0:
+                report.violation(
+                    "liveness:core-queue",
+                    f"server core {index} still has {queued:.0f} ns of "
+                    f"queued work after the storm drained",
+                )
 
         # Leak oracles: after the storm drains, transient users of every
         # pool are gone; only the store legitimately holds rx slots.
-        if self.server.tx_pool.in_use != self.baseline["server_tx"]:
-            report.violation(
-                "leak:server-tx",
-                f"{self.server.tx_pool.in_use} slots in use "
-                f"(baseline {self.baseline['server_tx']})",
-            )
-        if self.client.tx_pool.in_use != self.baseline["client_tx"]:
-            report.violation(
-                "leak:client-tx",
-                f"{self.client.tx_pool.in_use} slots in use "
-                f"(baseline {self.baseline['client_tx']})",
-            )
-        if self.client.rx_pool.in_use != self.baseline["client_rx"]:
-            report.violation(
-                "leak:client-rx",
-                f"{self.client.rx_pool.in_use} slots in use "
-                f"(baseline {self.baseline['client_rx']})",
-            )
-        rx_in_use = set(store.pool._in_use)
-        store_owned = set(store._buffers)
-        stray = rx_in_use - store_owned
-        if stray:
+        for gauge_name, base_key, kind in (
+            ("server.tx_pool.in_use", "server_tx", "leak:server-tx"),
+            ("client.tx_pool.in_use", "client_tx", "leak:client-tx"),
+            ("client.rx_pool.in_use", "client_rx", "leak:client-rx"),
+        ):
+            in_use = metrics.value(gauge_name)
+            if in_use != self.baseline[base_key]:
+                report.violation(
+                    kind,
+                    f"{gauge_name} = {in_use:.0f} "
+                    f"(baseline {self.baseline[base_key]:.0f})",
+                )
+        rx_in_use = metrics.value("server.rx_pool.in_use")
+        store_owned = metrics.value("engine.store.owned")
+        if rx_in_use != store_owned:
+            # Internals only for the diagnostic detail, not the verdict.
+            stray = sorted(set(store.pool._in_use) - set(store._buffers))
+            missing = sorted(set(store._buffers) - set(store.pool._in_use))
             report.violation(
                 "leak:server-rx",
-                f"{len(stray)} slot(s) in use but not owned by the store: "
-                f"{sorted(stray)[:8]}",
-            )
-        missing = store_owned - rx_in_use
-        if missing:
-            report.violation(
-                "refcount:store",
-                f"store references {len(missing)} slot(s) the pool thinks "
-                f"are free: {sorted(missing)[:8]}",
+                f"server.rx_pool.in_use = {rx_in_use:.0f} but "
+                f"engine.store.owned = {store_owned:.0f} "
+                f"(stray {stray[:8]}, freed-but-referenced {missing[:8]})",
             )
 
         # Refcount oracle: each adopted buffer's refcount equals the
@@ -323,11 +444,12 @@ class OverloadStorm:
     def _launch(self):
         self._conns = []
         key_counter = 0
+        loop_class = _HomaBurstLoop if self.transport == "homa" else _BurstConn
         for conn_id in range(self.connections):
             keys = [f"k{key_counter + i}".encode()
                     for i in range(self.keys_per_conn)]
             key_counter += self.keys_per_conn
-            conn = _BurstConn(self, conn_id, keys, self.puts_per_conn,
+            conn = loop_class(self, conn_id, keys, self.puts_per_conn,
                               self.value_size)
             self._conns.append(conn)
             core = self.client.cpus[conn_id % len(self.client.cpus)]
@@ -339,7 +461,11 @@ class OverloadStorm:
                     co, c.start
                 ),
             )
-        for stall_id in range(self.stalls):
+        # Stall clients are a TCP stream phenomenon (half a request
+        # parked in the server's parser); Homa messages are atomic, so
+        # the storm skips them there.
+        stalls = 0 if self.transport == "homa" else self.stalls
+        for stall_id in range(stalls):
             # Abort after the fault squall clears (60 ms): a RST is never
             # retransmitted, so one lost to the squall would leave the
             # server connection half-open with the partial request pinned
@@ -366,12 +492,13 @@ class OverloadStorm:
         self.testbed.fabric.faults = faults
 
     def _probe(self):
-        """Post-storm liveness: a fresh connection must get an answer."""
+        """Post-storm liveness: a fresh request must get an answer."""
         probe_key = self._conns[0].keys[0] if self._conns else b"probe"
         result = {"status": None}
         parser = HttpParser(is_response=True)
+        request = build_request("GET", "/" + probe_key.decode())
 
-        def start(ctx):
+        def start_tcp(ctx):
             sock = self.client.stack.connect(SERVER_IP, PORT, ctx)
 
             def on_data(s, segment, c):
@@ -381,10 +508,19 @@ class OverloadStorm:
                     s.close(c)
 
             sock.on_data = on_data
-            sock.on_established = lambda s, c: s.send(
-                build_request("GET", "/" + probe_key.decode()), c
-            )
+            sock.on_established = lambda s, c: s.send(request, c)
 
+        def start_homa(ctx):
+            def on_reply(segments, c):
+                for segment in segments:
+                    for message in parser.feed(segment):
+                        result["status"] = message.status
+                        message.release()
+
+            self.client.homa.send_request(SERVER_IP, PORT, request, ctx,
+                                          on_reply=on_reply)
+
+        start = start_homa if self.transport == "homa" else start_tcp
         self.client.process_on_core(self.client.cpus[0], start)
         self.sim.run_until_idle(max_events=self.max_events)
         self.report.probe_ok = result["status"] in (200, 404, 503)
@@ -457,6 +593,12 @@ def build_parser():
                     "slow-client stalls, with liveness/durability/leak "
                     "oracles.",
     )
+    parser.add_argument("--transport", choices=("tcp", "homa"),
+                        default="tcp",
+                        help="serve over HTTP/TCP or the Homa-like "
+                             "message transport (default: tcp)")
+    parser.add_argument("--cores", type=int, default=1,
+                        help="server cores (default: 1)")
     parser.add_argument("--connections", type=int, default=100,
                         help="burst connections (default: 100)")
     parser.add_argument("--puts-per-conn", type=int, default=6,
@@ -500,12 +642,15 @@ def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
     contain = not args.no_containment
-    print(f"[chaos] storm: {args.connections} conns x "
+    print(f"[chaos] storm: {args.transport} x{args.cores}core, "
+          f"{args.connections} conns x "
           f"{args.puts_per_conn} PUTs ({args.value_size} B), "
           f"pool {args.pool_slots} slots, stalls {args.stalls}, "
           f"faults {'off' if args.no_faults else 'on'}, "
           f"containment {'on' if contain else 'OFF'}")
     report = run_overload_storm(
+        transport=args.transport,
+        cores=args.cores,
         connections=args.connections,
         puts_per_conn=args.puts_per_conn,
         keys_per_conn=args.keys_per_conn,

@@ -523,3 +523,37 @@ class TestChaosStorm:
         kinds = {kind for kind, _ in report.violations}
         assert kinds & {"crash", "liveness:probe", "liveness:stalled",
                         "leak:server-rx", "durability"}
+
+    def test_homa_storm_upholds_contract(self):
+        # The ROADMAP open item: chaos coverage beyond tcp x 1 core.
+        # Homa's storm leans on sender-timeout retransmission and
+        # duplicate suppression to stay live through wire loss.
+        report = run_overload_storm(
+            transport="homa", connections=60, puts_per_conn=6,
+            pool_slots=128, seed=5,
+        )
+        assert report.crashed is None
+        assert report.ok, report.summary()
+        assert report.responses.get(503, 0) > 0     # overload was real
+        assert report.acked_puts > 0
+
+    def test_multicore_storm_upholds_contract(self):
+        report = run_overload_storm(
+            cores=4, connections=40, puts_per_conn=5, keys_per_conn=2,
+            pool_slots=96, stalls=2, seed=7,
+        )
+        assert report.crashed is None
+        assert report.ok, report.summary()
+        assert report.acked_puts > 0
+
+    def test_homa_multicore_storm_upholds_contract(self):
+        # The acceptance-criteria pairing: homa transport x 4 cores,
+        # oracles reading the recorder's gauges.
+        report = run_overload_storm(
+            transport="homa", cores=4, connections=60, puts_per_conn=6,
+            pool_slots=128, seed=9,
+        )
+        assert report.crashed is None
+        assert report.ok, report.summary()
+        assert report.responses.get(503, 0) > 0
+        assert report.acked_puts > 0

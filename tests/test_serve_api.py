@@ -1,0 +1,157 @@
+"""The unified server API: ServerConfig + serve() and the testbed shim."""
+
+import pytest
+
+from repro.bench.testbed import SERVER_IP, make_testbed
+from repro.bench.wrk import HomaWrkClient, WrkClient
+from repro.core.overload import OverloadController
+from repro.storage import (
+    ENGINES,
+    TRANSPORTS,
+    Server,
+    ServerConfig,
+    build_engine,
+    serve,
+)
+from repro.storage.kvserver import HomaKVServer, KVServer
+
+
+class TestServerConfig:
+    def test_defaults_validate(self):
+        config = ServerConfig()
+        assert config.validate() is config
+        assert config.transport == "tcp"
+        assert config.engine == "novelsm"
+        assert config.cores == 1
+
+    def test_bad_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            ServerConfig(transport="quic").validate()
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            ServerConfig(engine="rocksdb").validate()
+
+    def test_bad_cores_rejected(self):
+        with pytest.raises(ValueError, match="cores"):
+            ServerConfig(cores=0).validate()
+
+    def test_zero_copy_over_homa_rejected(self):
+        with pytest.raises(ValueError, match="zero_copy"):
+            ServerConfig(transport="homa", zero_copy_get=True).validate()
+
+    def test_bad_reaper_threshold_rejected(self):
+        with pytest.raises(ValueError, match="reaper"):
+            ServerConfig(reaper_idle_ns=0).validate()
+
+    def test_with_overrides_copies(self):
+        base = ServerConfig(engine="pktstore")
+        derived = base.with_overrides(cores=4, metrics=True)
+        assert derived.engine == "pktstore"
+        assert derived.cores == 4 and derived.metrics
+        assert base.cores == 1 and not base.metrics
+
+    def test_engine_and_transport_tables(self):
+        assert "novelsm" in ENGINES and "pktstore" in ENGINES
+        assert TRANSPORTS == ("tcp", "homa")
+
+
+class TestServe:
+    def test_tcp_serve_builds_kvserver(self):
+        testbed = make_testbed(config=ServerConfig())
+        assert isinstance(testbed.kv, KVServer)
+        assert testbed.config.transport == "tcp"
+
+    def test_homa_serve_builds_homa_front_end(self):
+        testbed = make_testbed(config=ServerConfig(transport="homa"))
+        assert isinstance(testbed.kv, HomaKVServer)
+
+    def test_core_count_mismatch_rejected(self):
+        testbed = make_testbed(config=ServerConfig())
+        with pytest.raises(ValueError, match="core"):
+            serve(testbed.server, ServerConfig(cores=4),
+                  pm_ns=testbed.pm_ns)
+
+    def test_overload_true_builds_controller(self):
+        testbed = make_testbed(config=ServerConfig(overload=True))
+        assert isinstance(testbed.overload, OverloadController)
+        assert testbed.overload.sim is testbed.sim
+
+    def test_overload_instance_used_as_is(self):
+        controller = OverloadController()
+        testbed = make_testbed(config=ServerConfig(overload=controller))
+        assert testbed.overload is controller
+        assert controller.sim is testbed.sim
+
+    def test_reaper_config_arms_tcp_reaper(self):
+        testbed = make_testbed(
+            config=ServerConfig(reaper_idle_ns=5_000_000.0))
+        assert testbed.server.stack.reaper_idle_ns == 5_000_000.0
+
+    def test_metrics_attach_everything(self):
+        testbed = make_testbed(config=ServerConfig(metrics=True))
+        assert testbed.recorder is not None
+        assert testbed.metrics is testbed.recorder.registry
+        assert testbed.server.recorder is testbed.recorder
+        assert testbed.client.recorder is testbed.recorder
+        assert testbed.fabric.recorder is testbed.recorder
+        assert testbed.kv.recorder is testbed.recorder
+
+    def test_serve_overrides_kwargs(self):
+        testbed = make_testbed(config=ServerConfig())
+        server = serve(testbed.server, ServerConfig(engine="null"),
+                       port=8080)
+        assert isinstance(server, Server)
+        assert server.config.port == 8080
+
+    def test_engine_injection_skips_build(self):
+        testbed = make_testbed(config=ServerConfig())
+        prebuilt = build_engine("null", testbed.server)
+        server = serve(testbed.server, ServerConfig(engine="null"),
+                       engine=prebuilt, port=81)
+        assert server.engine is prebuilt
+
+
+class TestLegacyShim:
+    def test_legacy_keywords_still_work(self):
+        testbed = make_testbed(engine="null", server_cores=2)
+        assert testbed.config.engine == "null"
+        assert testbed.config.cores == 2
+        assert len(testbed.server.cpus) == 2
+
+    def test_legacy_kv_kwargs_fold_into_config(self):
+        testbed = make_testbed(engine="pktstore",
+                               kv_kwargs={"zero_copy_get": True})
+        assert testbed.config.zero_copy_get
+
+    def test_config_plus_legacy_conflict(self):
+        with pytest.raises(TypeError, match="not both"):
+            make_testbed(engine="null", config=ServerConfig())
+
+    def test_unknown_kv_kwargs_rejected(self):
+        with pytest.raises(TypeError, match="ServerConfig"):
+            make_testbed(kv_kwargs={"bogus_flag": 1})
+
+
+class TestTransportsServeRequests:
+    """End-to-end smoke: the same config surface drives both transports."""
+
+    @pytest.mark.parametrize("transport,cores", [
+        ("tcp", 1), ("tcp", 2), ("homa", 1), ("homa", 4),
+    ])
+    def test_put_roundtrip(self, transport, cores):
+        config = ServerConfig(transport=transport, cores=cores, metrics=True)
+        testbed = make_testbed(config=config)
+        client_class = HomaWrkClient if transport == "homa" else WrkClient
+        wrk = client_class(
+            testbed.client, SERVER_IP, connections=2, value_size=512,
+            duration_ns=600_000.0, warmup_ns=100_000.0,
+        )
+        stats = wrk.run()
+        assert stats.completed > 0
+        assert testbed.metrics.value("server.requests") > 0
+        if cores > 1:
+            # RSS must actually spread work across the cores.
+            busy = [testbed.metrics.value(f"server.core{i}.busy_ns")
+                    for i in range(cores)]
+            assert sum(1 for b in busy if b > 0) > 1
