@@ -26,13 +26,16 @@ PAPER_LATENCY_PENALTY = (11.0, 41.0)
 
 
 class Figure2Point:
-    __slots__ = ("engine", "connections", "avg_rtt_us", "p99_rtt_us",
-                 "throughput_krps", "samples")
+    __slots__ = ("engine", "connections", "avg_rtt_us", "p50_rtt_us",
+                 "p99_rtt_us", "throughput_krps", "samples")
 
     def __init__(self, engine, connections, stats):
         self.engine = engine
         self.connections = connections
         self.avg_rtt_us = stats.avg_rtt_us
+        # Exact order-statistic percentiles (linear interpolation), not
+        # the truncated-index neighbour — see WrkStats.percentile_us.
+        self.p50_rtt_us = stats.percentile_us(50)
         self.p99_rtt_us = stats.percentile_us(99)
         self.throughput_krps = stats.throughput_krps
         self.samples = len(stats.rtts_ns)
@@ -83,11 +86,13 @@ def render(series):
         for point in points:
             rows.append((
                 engine, point.connections, us(point.avg_rtt_us),
-                us(point.p99_rtt_us), us(point.throughput_krps), point.samples,
+                us(point.p50_rtt_us), us(point.p99_rtt_us),
+                us(point.throughput_krps), point.samples,
             ))
     table = format_table(
         "Figure 2: continual 1 KB writes over parallel TCP connections",
-        ["series", "conns", "avg RTT (µs)", "p99 (µs)", "tput (krps)", "samples"],
+        ["series", "conns", "avg RTT (µs)", "p50 (µs)", "p99 (µs)",
+         "tput (krps)", "samples"],
         rows,
     )
     if "rawpm" in series and "novelsm" in series:

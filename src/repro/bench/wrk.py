@@ -32,11 +32,29 @@ class WrkStats:
         return ns_to_us(sum(self.rtts_ns) / len(self.rtts_ns))
 
     def percentile_us(self, p):
+        """Exact sample percentile with linear interpolation.
+
+        ``p`` is in percent.  ``p=0`` returns the minimum, ``p=100``
+        the maximum, and a single sample answers every percentile with
+        itself.  Interior percentiles interpolate between the two
+        nearest order statistics at ``rank = p/100 * (n-1)`` (numpy's
+        default "linear" definition), so p99 over 5k samples is the
+        exact percentile — not the truncated-index neighbour the old
+        ``int(p/100*n)`` produced.
+        """
         if not self.rtts_ns:
             return 0.0
         ordered = sorted(self.rtts_ns)
-        index = min(len(ordered) - 1, int(p / 100.0 * len(ordered)))
-        return ns_to_us(ordered[index])
+        if p <= 0:
+            return ns_to_us(ordered[0])
+        if p >= 100:
+            return ns_to_us(ordered[-1])
+        rank = p / 100.0 * (len(ordered) - 1)
+        low = int(rank)
+        frac = rank - low
+        if frac == 0.0 or low + 1 >= len(ordered):
+            return ns_to_us(ordered[low])
+        return ns_to_us(ordered[low] + (ordered[low + 1] - ordered[low]) * frac)
 
     @property
     def throughput_krps(self):
@@ -100,12 +118,14 @@ class _Connection:
     def _on_data(self, sock, segment, ctx):
         messages = self.parser.feed(segment, ctx, self.client.costs)
         for message in messages:
-            if message.status is not None and message.status >= 500:
+            status = message.status
+            if status is not None and status >= 500:
                 self.client.stats.errors += 1
             message.release()
             started = self.inflight_since
             self.client.host.call_at_completion(
-                lambda t_end, c, started=started: self.client._record(started, t_end)
+                lambda t_end, c, started=started, status=status:
+                    self.client._record(started, t_end, status)
             )
             self._send_next(ctx)
 
@@ -179,7 +199,7 @@ class WrkClient:
         self.host.sim.run(until=self.stop_at + 5_000_000.0)
         return self.stats
 
-    def _record(self, started, finished):
+    def _record(self, started, finished, status=None):
         """Count a completion; it lands in the stats if it *finished*
         inside the measurement window (standard load-generator practice
         — requiring the start inside too would bias throughput down
@@ -188,7 +208,13 @@ class WrkClient:
         if started is None:
             return
         if self.stats.measure_start <= finished <= self.stats.measure_end:
-            self.stats.rtts_ns.append(finished - started)
+            rtt_ns = finished - started
+            self.stats.rtts_ns.append(rtt_ns)
+            recorder = self.host.recorder
+            if recorder is not None:
+                verdict = "error" if (status is not None and status >= 500) \
+                    else "ok"
+                recorder.client_request("http", verdict, rtt_ns)
 
     def _conn_finished(self, conn):
         self._active -= 1
@@ -253,7 +279,7 @@ class HomaWrkClient:
     def _fire(self, loop_id, ctx):
         if self.host.sim.now >= self.stop_at:
             return
-        state = {"sent_at": None}
+        state = {"sent_at": None, "status": None}
         self.costs.charge_http_build(ctx)
         self.costs.charge_sock_send(ctx)
 
@@ -264,12 +290,15 @@ class HomaWrkClient:
                 for message in parser.feed(segment, reply_ctx, self.costs):
                     if message.status is not None and message.status >= 500:
                         self.stats.errors += 1
+                    state["status"] = message.status
                     message.release()
             self.host.call_at_completion(
-                lambda t_end, c: self._done(loop_id, state["sent_at"], t_end)
+                lambda t_end, c:
+                    self._done(loop_id, state["sent_at"], t_end,
+                               state["status"], rpc_id)
             )
 
-        self.transport.send_request(
+        rpc_id = self.transport.send_request(
             self.server_ip, self.port, self._request_bytes(loop_id),
             ctx, on_reply=on_reply,
         )
@@ -277,11 +306,21 @@ class HomaWrkClient:
             lambda t_end, c: state.update(sent_at=t_end)
         )
 
-    def _done(self, loop_id, started, finished):
+    def _done(self, loop_id, started, finished, status=None, rpc_id=None):
         self.stats.completed += 1
         if started is not None and \
                 self.stats.measure_start <= finished <= self.stats.measure_end:
-            self.stats.rtts_ns.append(finished - started)
+            rtt_ns = finished - started
+            self.stats.rtts_ns.append(rtt_ns)
+            recorder = self.host.recorder
+            if recorder is not None:
+                verdict = "error" if (status is not None and status >= 500) \
+                    else "ok"
+                # RTT is first-send -> reply (sent_at is set once), so a
+                # retransmitted RPC contributes ONE sample; the span's
+                # retransmit count carries the retry attribution.
+                recorder.client_request("homa", verdict, rtt_ns,
+                                        rpc_id=rpc_id)
         core = self.host.cpus.assign()
         self.host.process_on_core(core, lambda ctx: self._fire(loop_id, ctx))
 

@@ -131,14 +131,16 @@ class _OutMessage:
 
     __slots__ = ("rpc_id", "dst_ip", "sport", "dport", "data", "sent",
                  "granted", "acked", "packets", "ranges", "retry_timer",
-                 "retries")
+                 "retries", "kind")
 
-    def __init__(self, rpc_id, dst_ip, sport, dport, data):
+    def __init__(self, rpc_id, dst_ip, sport, dport, data, kind="request"):
         self.rpc_id = rpc_id
         self.dst_ip = dst_ip
         self.sport = sport
         self.dport = dport
         self.data = data
+        #: "request" or "reply" — span-link attribution direction.
+        self.kind = kind
         self.sent = 0
         self.granted = min(len(data), RTT_BYTES)
         self.acked = False
@@ -202,7 +204,8 @@ class HomaRpc:
 
     def reply(self, data, ctx):
         self.transport._send_message(
-            self.rpc_id, self.peer_ip, self.local_port, self.peer_port, data, ctx,
+            self.rpc_id, self.peer_ip, self.local_port, self.peer_port, data,
+            ctx, kind="reply",
         )
 
 
@@ -227,6 +230,10 @@ class HomaTransport:
         self._completed = {}          # recently completed keys (dedup memory)
         self._rpc_counter = (host.ip & 0xFFFF) << 32
         self._ephemeral = 52_000
+        #: Optional live-observability hook (repro.obs.Recorder): send
+        #: attempts and give-ups feed the span-link chains.  None costs
+        #: one attribute load per send.
+        self.recorder = None
         self.stats = {
             "tx_data": 0, "rx_data": 0, "grants": 0, "resends": 0,
             "messages_delivered": 0, "bad_csum": 0,
@@ -258,9 +265,14 @@ class HomaTransport:
 
     # -- send side ----------------------------------------------------------------
 
-    def _send_message(self, rpc_id, dst_ip, sport, dport, data, ctx):
-        message = _OutMessage(rpc_id, dst_ip, sport, dport, bytes(data))
+    def _send_message(self, rpc_id, dst_ip, sport, dport, data, ctx,
+                      kind="request"):
+        message = _OutMessage(rpc_id, dst_ip, sport, dport, bytes(data),
+                              kind=kind)
         self._out[rpc_id] = message
+        if self.recorder is not None:
+            self.recorder.homa_send(rpc_id, kind, retransmit=False,
+                                    core=self.core_for_rpc(rpc_id).index)
         self._pump(message, ctx)
         self._arm_retry(message)
 
@@ -284,10 +296,18 @@ class HomaTransport:
             for clone in message.packets.values():
                 clone.release()
             message.packets.clear()
+            if self.recorder is not None:
+                self.recorder.homa_give_up(
+                    rpc_id, message.kind,
+                    core=self.core_for_rpc(rpc_id).index)
             return
         self.stats["send_retries"] += 1
 
         def resend(ctx):
+            if self.recorder is not None:
+                self.recorder.homa_send(
+                    message.rpc_id, message.kind, retransmit=True,
+                    core=self.core_for_rpc(message.rpc_id).index)
             for offset in sorted(message.ranges):
                 self._send_data(message, offset, message.ranges[offset],
                                 ctx, retransmit=True)
@@ -486,6 +506,12 @@ class HomaTransport:
                            message.sport, message.rpc_id, 0, message.msg_len, ctx)
         segments = [message.segments[off] for off in sorted(message.segments)]
         waiter = self._reply_waiters.pop(message.rpc_id, None)
+        if self.recorder is not None:
+            # Receiver-side completion: a delivered reply closes the
+            # requester's chain; a delivered request precedes the
+            # handler span that will join the same chain.
+            self.recorder.homa_delivered(
+                message.rpc_id, "reply" if waiter is not None else "request")
         if waiter is not None:
             waiter(segments, ctx)
         else:

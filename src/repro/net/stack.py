@@ -513,6 +513,10 @@ class Host:
             from repro.net.homa import HomaTransport
 
             self.homa = HomaTransport(self, self.costs, self.tx_pool)
+            if self.recorder is not None:
+                # The observability layer was attached before the
+                # transport existed; give it the send/retransmit hooks.
+                self.recorder.attach_transport(self.homa)
         return self.homa
 
     # -- execution discipline ------------------------------------------------

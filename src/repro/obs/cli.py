@@ -15,8 +15,15 @@ Examples::
     repro-stats --trace 5                     # last 5 request spans
 
 ``--json`` emits a single JSON document (``{"workload", "snapshot",
-"table1", "trace"}``) that CI schema-checks; everything else prints
-human-readable tables.
+"table1", "trace", "watch"}``) that CI schema-checks; everything else
+prints human-readable tables.
+
+``--watch US`` takes a full registry snapshot every ``US`` µs of
+*simulated* time while the workload runs, instead of only one at the
+end.  Each periodic snapshot is schema-identical to the one-shot
+``snapshot`` document (same keys, same metric set), so consumers can
+reuse their parsers; the human-readable view adds delta and rate
+columns computed between consecutive snapshots.
 """
 
 import argparse
@@ -71,6 +78,11 @@ def build_parser():
     output.add_argument("--trace", type=int, metavar="N", default=0,
                         help="show (and include in JSON) the newest N "
                              "request spans")
+    output.add_argument("--watch", type=float, metavar="US", default=None,
+                        help="snapshot the registry every US µs of sim "
+                             "time during the run; print delta/rate "
+                             "columns (JSON: 'watch' list, each entry "
+                             "schema-identical to 'snapshot')")
     return parser
 
 
@@ -95,7 +107,10 @@ def _run_wrk(args):
         duration_ns=args.duration_us * 1_000.0,
         warmup_ns=args.warmup_us * 1_000.0,
     )
-    stats = wrk.run()
+    if args.watch:
+        stats, watch = _watched_run(testbed, wrk, args.watch * 1_000.0)
+    else:
+        stats, watch = wrk.run(), []
     workload = {
         "mode": "wrk",
         "engine": args.engine,
@@ -106,10 +121,32 @@ def _run_wrk(args):
         "value_size": args.value_size,
         "completed": stats.completed,
         "avg_rtt_us": stats.avg_rtt_us,
+        "p50_rtt_us": stats.percentile_us(50),
         "p99_rtt_us": stats.percentile_us(99),
         "throughput_krps": stats.throughput_krps,
     }
-    return testbed.recorder, workload
+    return testbed.recorder, workload, watch
+
+
+def _watched_run(testbed, wrk, interval_ns):
+    """Drive the wrk run in interval-sized steps, snapshotting between.
+
+    Every entry is the full ``registry.snapshot()`` — the same call the
+    one-shot export uses — so the periodic documents are schema-identical
+    to the final one.  The last snapshot lands at the end of the run
+    (after the trailing-ACK grace), so ``watch[-1]`` matches the final
+    ``snapshot`` document's totals.
+    """
+    wrk.start()
+    sim = testbed.sim
+    stop = wrk.stop_at + 5_000_000.0  # same grace as WrkClient.run
+    watch = []
+    now = sim.now
+    while now < stop:
+        now = min(now + interval_ns, stop)
+        sim.run(until=now)
+        watch.append(testbed.recorder.registry.snapshot())
+    return wrk.stats, watch
 
 
 def _run_storm(args):
@@ -131,7 +168,7 @@ def _run_storm(args):
                        for kind, detail in report.violations],
         "ok": report.ok,
     }
-    return storm.testbed.recorder, workload
+    return storm.testbed.recorder, workload, []
 
 
 def render_table1(recorder):
@@ -226,9 +263,45 @@ def render_summary(recorder, workload):
             f"{ns_to_us(hist.mean):.2f} µs, p50 "
             f"{ns_to_us(hist.quantile(0.5)):.2f} µs, p99 "
             f"{ns_to_us(hist.quantile(0.99)):.2f} µs "
-            f"(bucketed), n={hist.count}"
+            f"(t-digest), n={hist.count}"
         )
     return "\n".join(lines)
+
+
+def render_watch(watch):
+    """Delta/rate table over the periodic snapshots.
+
+    Counters are cumulative, so each row differences against the
+    previous snapshot; quantiles come from the (cumulative) digest at
+    that instant.
+    """
+    from repro.bench.report import format_table
+
+    rows = []
+    prev_requests = 0.0
+    prev_now = None
+    for snapshot in watch:
+        now = snapshot["sim_now_ns"]
+        metrics = snapshot["metrics"]
+        requests = metrics.get("server.requests", {}).get("value", 0.0)
+        delta = requests - prev_requests
+        window = (now - prev_now) if prev_now is not None else now
+        rate_krps = delta / window * 1e6 if window > 0 else 0.0
+        hist = metrics.get("server.request_ns", {})
+        quantiles = hist.get("quantiles", {})
+        rows.append((
+            f"{now / 1e6:.3f}",
+            f"{requests:.0f}",
+            f"+{delta:.0f}",
+            f"{rate_krps:.1f}",
+            f"{ns_to_us(quantiles.get('p50', 0.0)):.2f}",
+            f"{ns_to_us(quantiles.get('p99', 0.0)):.2f}",
+        ))
+        prev_requests, prev_now = requests, now
+    return format_table(
+        f"Watch: {len(watch)} snapshots",
+        ["t (ms)", "requests", "Δreq", "krps", "p50 µs", "p99 µs"], rows,
+    )
 
 
 def render_trace(recorder, last):
@@ -249,8 +322,13 @@ def render_trace(recorder, last):
 
 
 def main(argv=None):
-    args = build_parser().parse_args(argv)
-    recorder, workload = (_run_storm if args.storm else _run_wrk)(args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.watch is not None and args.storm:
+        parser.error("--watch drives the wrk workload; drop --storm")
+    if args.watch is not None and args.watch <= 0:
+        parser.error("--watch interval must be positive")
+    recorder, workload, watch = (_run_storm if args.storm else _run_wrk)(args)
 
     if args.json is not None:
         document = {
@@ -258,6 +336,7 @@ def main(argv=None):
             "snapshot": recorder.registry.snapshot(),
             "table1": recorder.table1(),
             "trace": recorder.ring.dump(last=args.trace) if args.trace else [],
+            "watch": watch,
         }
         text = json.dumps(document, indent=2, sort_keys=True)
         if args.json == "-":
@@ -268,6 +347,8 @@ def main(argv=None):
             print(f"[stats] snapshot written to {args.json}")
     else:
         print(render_summary(recorder, workload))
+        if watch:
+            print(render_watch(watch))
 
     if args.table1:
         print(render_table1(recorder))

@@ -11,7 +11,14 @@ PMLint DET-01 clean so an instrumented run replays byte-identically):
   state (core queue depth, pool occupancy, connection count) at
   snapshot time, so the hot path pays nothing to keep it current.
 - :class:`Histogram` — fixed bucket boundaries chosen at construction;
-  ``observe`` is one bisect + two adds, no allocation.
+  ``observe`` is one bisect + two adds plus one t-digest buffer append,
+  no per-observation allocation beyond the buffered point.  Each
+  histogram carries a :class:`~repro.obs.tdigest.TDigest` alongside its
+  ``le`` buckets: the buckets keep the JSON snapshot schema (and its
+  CI check) stable, while :meth:`Histogram.quantile` answers from the
+  digest — percentile-exact within the documented scale-function bound
+  instead of bucket-edge-exact.  The old bucketed answer remains as
+  :meth:`Histogram.bucket_quantile`.
 
 Snapshots are plain dicts (JSON-ready) so ``repro-stats`` can export
 them and CI can schema-check the output.  ``reset`` zeroes counters
@@ -21,6 +28,8 @@ windowed rates and utilisations a well-defined origin.
 """
 
 from bisect import bisect_left
+
+from repro.obs.tdigest import DEFAULT_COMPRESSION, TDigest
 
 #: Default duration buckets (nanoseconds): 1 µs .. 16 ms in powers of
 #: two, a range that spans one flush (~60 ns aggregates into the µs
@@ -86,17 +95,27 @@ class Gauge:
         return f"<Gauge {self.name}={self.value}>"
 
 
+#: Quantiles every histogram snapshot reports from its digest.
+SNAPSHOT_QUANTILES = (0.5, 0.9, 0.99, 0.999)
+
+
 class Histogram:
-    """Fixed-boundary histogram: ``len(bounds) + 1`` buckets.
+    """Fixed-boundary histogram: ``len(bounds) + 1`` buckets + a digest.
 
     Bucket ``i`` counts observations ``<= bounds[i]``; the final bucket
     is the overflow (``> bounds[-1]``).  Boundaries are fixed at
-    construction so ``observe`` never allocates.
+    construction so ``observe`` never allocates a bucket.  A t-digest
+    rides along so :meth:`quantile` is percentile-exact (within the
+    scale-function bound) rather than bucket-edge-exact; the digest is
+    serialisable and mergeable, so per-core histograms can combine into
+    one server-wide quantile view.
     """
 
-    __slots__ = ("name", "bounds", "counts", "total", "count", "min", "max")
+    __slots__ = ("name", "bounds", "counts", "total", "count", "min", "max",
+                 "digest")
 
-    def __init__(self, name, bounds=DEFAULT_TIME_BUCKETS_NS):
+    def __init__(self, name, bounds=DEFAULT_TIME_BUCKETS_NS,
+                 compression=DEFAULT_COMPRESSION):
         bounds = tuple(float(b) for b in bounds)
         if not bounds:
             raise ValueError(f"histogram {name}: no buckets")
@@ -109,6 +128,7 @@ class Histogram:
         self.count = 0
         self.min = None
         self.max = None
+        self.digest = TDigest(compression=compression)
 
     def observe(self, value):
         # bisect_left keeps the "le" contract: value == bound lands in
@@ -120,13 +140,26 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self.digest.add(value)
 
     @property
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q):
-        """Approximate quantile: upper bound of the bucket holding it.
+        """Percentile-exact quantile estimate from the t-digest.
+
+        Within ``2pi*sqrt(q(1-q))/compression`` (in quantile space) of
+        the exact sample quantile — see :mod:`repro.obs.tdigest`.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        return self.digest.quantile(q)
+
+    def bucket_quantile(self, q):
+        """The fixed-bucket answer: upper bound of the bucket holding
+        the quantile (the pre-digest behaviour, kept for comparison
+        and for consumers that must match the ``le`` snapshot).
 
         The overflow bucket reports the observed maximum (the honest
         answer — its upper edge is unbounded).
@@ -151,6 +184,7 @@ class Histogram:
         self.count = 0
         self.min = None
         self.max = None
+        self.digest.reset()
 
     def describe(self):
         return {
@@ -164,6 +198,10 @@ class Histogram:
                 {"le": bound, "count": count}
                 for bound, count in zip(self.bounds, self.counts)
             ] + [{"le": None, "count": self.counts[-1]}],
+            "quantiles": {
+                f"p{q * 100:g}": self.digest.quantile(q)
+                for q in SNAPSHOT_QUANTILES
+            },
         }
 
     def __repr__(self):

@@ -28,29 +28,58 @@ layer sees a request (driver/IP/TCP receive, HTTP parse) belong to
 that request; the recorder tracks how much of the context each span
 has consumed, so back-to-back requests in one slice split the slice
 correctly and response transmission lands in the span that sent it.
+
+**Span links** (Homa retransmissions): a sender-timeout retransmit of
+a Homa message is the *same logical request* trying again.  The
+transport reports every send attempt through nullable hooks, and the
+recorder threads one chain per RPC id through the ring — each
+retransmit becomes a zero-cost ``homa.rtx.*`` span linked to its
+predecessor, the server's handler span joins the chain with the
+retransmit count, and the client's completion span closes it with the
+RTT measured from the *first* attempt (so retries never double-count
+RTT or Table-1 stage totals: one logical request, one handler span,
+one RTT sample).
 """
 
 from collections import deque
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.stages import STAGES, classify
+from repro.obs.tdigest import TDigest, merged
 
 #: Ring-buffer capacity when the caller does not choose one.
 DEFAULT_TRACE_CAPACITY = 1024
 
+#: RPC chains remembered for span linking before the oldest quarter is
+#: evicted (mirrors the transport's completed-RPC dedup memory).
+RPC_CHAIN_MEMORY = 65536
+
 
 class Span:
-    """One request's lifecycle: stage-classed cost plus identity."""
+    """One request's lifecycle: stage-classed cost plus identity.
 
-    __slots__ = ("kind", "status", "core", "t_end", "total_ns", "stages")
+    ``span_id`` is unique per recorder; ``links`` names predecessor
+    span ids in the same logical-request chain (Homa retransmissions),
+    ``rpc_id``/``attempt``/``retransmits`` carry the chain identity —
+    ``None``/0/() for plain unlinked spans.
+    """
 
-    def __init__(self, kind, status, core, t_end, total_ns, stages):
+    __slots__ = ("kind", "status", "core", "t_end", "total_ns", "stages",
+                 "span_id", "rpc_id", "attempt", "retransmits", "links")
+
+    def __init__(self, kind, status, core, t_end, total_ns, stages,
+                 span_id=0, rpc_id=None, attempt=0, retransmits=0, links=()):
         self.kind = kind
         self.status = status
         self.core = core
         self.t_end = t_end
         self.total_ns = total_ns
         self.stages = stages
+        self.span_id = span_id
+        self.rpc_id = rpc_id
+        self.attempt = attempt
+        self.retransmits = retransmits
+        self.links = tuple(links)
 
     def as_dict(self):
         return {
@@ -60,12 +89,18 @@ class Span:
             "t_end_ns": self.t_end,
             "total_ns": self.total_ns,
             "stages": dict(self.stages),
+            "span_id": self.span_id,
+            "rpc_id": self.rpc_id,
+            "attempt": self.attempt,
+            "retransmits": self.retransmits,
+            "links": list(self.links),
         }
 
     def __repr__(self):
+        linked = f" rpc={self.rpc_id}" if self.rpc_id is not None else ""
         return (
             f"<Span {self.kind} {self.status} core={self.core} "
-            f"total={self.total_ns:.0f}ns>"
+            f"total={self.total_ns:.0f}ns{linked}>"
         )
 
 
@@ -150,6 +185,13 @@ class Recorder:
         self._span_ctx = None
         self._span_consumed = {}
         self._span_elapsed = 0.0
+        # Span-link state: one chain per Homa RPC id, fed by transport
+        # hooks; insertion-ordered so eviction drops the oldest.
+        self._span_seq = 0
+        self._rpc_chains = {}
+        # Per-core request-latency digests; merged on demand into the
+        # server-wide quantile view (the multicore aggregation path).
+        self._core_digests = {}
         # Cached hot-path handles (created lazily on first use).
         self._wire_ns = self.registry.counter("fabric.wire_ns")
         self._wire_frames = self.registry.counter("fabric.wire_frames")
@@ -160,6 +202,11 @@ class Recorder:
         }
         self._kind_counters = {}
         self._status_counters = {}
+        # Eager, not lazy: the snapshot schema must not change shape
+        # mid-run when the first client span lands (--watch compares
+        # periodic snapshots against the final one key-for-key).
+        self._client_requests = self.registry.counter("client.requests")
+        self._client_rtt = self.registry.histogram("client.rtt_ns")
 
     # -- attachment ------------------------------------------------------------
 
@@ -192,6 +239,8 @@ class Recorder:
             )
         registry.gauge(f"{role}.connections",
                        fn=lambda stack=host.stack: float(stack.connection_count()))
+        if host.homa is not None:
+            self.attach_transport(host.homa, role)
         for pool_name, pool in (("rx_pool", host.rx_pool), ("tx_pool", host.tx_pool)):
             prefix = f"{role}.{pool_name}"
             registry.gauge(f"{prefix}.in_use",
@@ -263,6 +312,118 @@ class Recorder:
         )
         return self
 
+    def attach_transport(self, transport, role=None):
+        """Watch a Homa transport: send attempts, retransmit span links.
+
+        Called automatically by :meth:`attach_host` (and by
+        ``Host.enable_homa``) once both the host and its transport
+        exist, whichever happens second.
+        """
+        if transport.recorder is self:
+            return self
+        transport.recorder = self
+        if role is None:
+            handles = self._hosts.get(transport.host)
+            role = handles.role if handles is not None else transport.host.name
+        for key in transport.stats:
+            self.registry.gauge(
+                f"{role}.homa.{key}",
+                fn=lambda stats=transport.stats, k=key: float(stats.get(k, 0)),
+            )
+        for direction in ("request", "reply"):
+            self.registry.counter(f"homa.rtx.{direction}")
+            self.registry.counter(f"homa.giveup.{direction}")
+        self.registry.counter("server.rpc.double_dispatch")
+        return self
+
+    # -- span-link chains (Homa retransmissions) -------------------------------
+
+    def _next_span_id(self):
+        self._span_seq += 1
+        return self._span_seq
+
+    def _chain(self, rpc_id):
+        chain = self._rpc_chains.get(rpc_id)
+        if chain is None:
+            chain = {
+                "last_span_id": None,
+                "server_spans": 0,
+                "client_spans": 0,
+                "delivered": set(),
+                "gave_up": set(),
+                "request": {"attempts": 0, "retransmits": 0,
+                            "first_ns": None, "last_ns": None},
+                "reply": {"attempts": 0, "retransmits": 0,
+                          "first_ns": None, "last_ns": None},
+            }
+            self._rpc_chains[rpc_id] = chain
+            if len(self._rpc_chains) > RPC_CHAIN_MEMORY:
+                for old in list(self._rpc_chains)[:RPC_CHAIN_MEMORY // 4]:
+                    del self._rpc_chains[old]
+        return chain
+
+    def chain(self, rpc_id):
+        """Read-only view of one RPC's link state (None if unknown)."""
+        return self._rpc_chains.get(rpc_id)
+
+    def chains(self):
+        """{rpc_id: chain-state} for every RPC the transports reported."""
+        return dict(self._rpc_chains)
+
+    def homa_send(self, rpc_id, direction, retransmit, core=-1):
+        """One send attempt of a Homa message (original or retransmit).
+
+        Originals only update chain state (the eventual handler/client
+        span represents them); a retransmit additionally appends a
+        zero-cost ``homa.rtx.<direction>`` span linked to the chain's
+        previous span, so the retry is *visible* without double-counting
+        any stage cost or RTT.
+        """
+        now = self.sim.now if self.sim is not None else 0.0
+        chain = self._chain(rpc_id)
+        side = chain[direction]
+        side["attempts"] += 1
+        if side["first_ns"] is None:
+            side["first_ns"] = now
+        side["last_ns"] = now
+        if not retransmit:
+            return
+        side["retransmits"] += 1
+        self.registry.counter(f"homa.rtx.{direction}").inc()
+        span_id = self._next_span_id()
+        links = () if chain["last_span_id"] is None \
+            else (chain["last_span_id"],)
+        self.ring.append(Span(
+            kind=f"homa.rtx.{direction}", status="rtx", core=core,
+            t_end=now, total_ns=0.0, stages={},
+            span_id=span_id, rpc_id=rpc_id, attempt=side["attempts"] - 1,
+            retransmits=side["retransmits"], links=links,
+        ))
+        chain["last_span_id"] = span_id
+
+    def homa_delivered(self, rpc_id, direction):
+        """The receiver completed reassembly of one direction's message."""
+        self._chain(rpc_id)["delivered"].add(direction)
+
+    def homa_give_up(self, rpc_id, direction, core=-1):
+        """The sender abandoned the message after MAX_SEND_RETRIES: close
+        the chain with a terminal span so no retransmit span is orphaned."""
+        now = self.sim.now if self.sim is not None else 0.0
+        chain = self._chain(rpc_id)
+        chain["gave_up"].add(direction)
+        self.registry.counter(f"homa.giveup.{direction}").inc()
+        span_id = self._next_span_id()
+        links = () if chain["last_span_id"] is None \
+            else (chain["last_span_id"],)
+        self.ring.append(Span(
+            kind=f"homa.giveup.{direction}", status="giveup", core=core,
+            t_end=now, total_ns=0.0, stages={},
+            span_id=span_id, rpc_id=rpc_id,
+            attempt=chain[direction]["attempts"],
+            retransmits=chain[direction]["retransmits"], links=links,
+        ))
+        chain["last_span_id"] = span_id
+
     # -- hot-path hooks --------------------------------------------------------
 
     def record_slice(self, host, core, ctx, t_end):
@@ -305,8 +466,16 @@ class Recorder:
             self._span_consumed = {}
             self._span_elapsed = 0.0
 
-    def request_end(self, kind, status, core, ctx):
-        """Close the current request span and record it."""
+    def request_end(self, kind, status, core, ctx, rpc_id=None):
+        """Close the current request span and record it.
+
+        ``rpc_id`` (Homa) joins the span into its RPC's link chain: the
+        span links to the newest retransmit span of the same logical
+        request and carries the request-direction retransmit count, and
+        a second handler span for the same RPC — a dedup failure —
+        increments ``server.rpc.double_dispatch`` instead of passing
+        silently.
+        """
         if ctx is not self._span_ctx:
             # begin was never called for this slice; attribute the
             # whole context to the span rather than dropping it.
@@ -323,9 +492,30 @@ class Recorder:
         self._span_consumed = dict(ctx.by_category)
         self._span_elapsed = ctx.elapsed
         t_end = self.sim.now if self.sim is not None else 0.0
-        self.ring.append(Span(kind, status, core, t_end, total_ns, stages))
+        span_id = self._next_span_id()
+        retransmits = 0
+        links = ()
+        if rpc_id is not None:
+            chain = self._chain(rpc_id)
+            if chain["last_span_id"] is not None:
+                links = (chain["last_span_id"],)
+            retransmits = chain["request"]["retransmits"]
+            chain["server_spans"] += 1
+            chain["last_span_id"] = span_id
+            if chain["server_spans"] > 1:
+                # One logical request ran the handler twice: the stage
+                # totals above were double-charged.  Surface it.
+                self.registry.counter("server.rpc.double_dispatch").inc()
+        self.ring.append(Span(kind, status, core, t_end, total_ns, stages,
+                              span_id=span_id, rpc_id=rpc_id,
+                              retransmits=retransmits, links=links))
         self._requests.inc()
         self._request_ns.observe(total_ns)
+        core_digest = self._core_digests.get(core)
+        if core_digest is None:
+            core_digest = TDigest()
+            self._core_digests[core] = core_digest
+        core_digest.add(total_ns)
         for stage, ns in stages.items():
             if ns:
                 self._request_stage[stage].inc(ns)
@@ -340,12 +530,51 @@ class Recorder:
             self._status_counters[status] = status_counter
         status_counter.inc()
 
+    def client_request(self, kind, status, rtt_ns, core=-1, rpc_id=None):
+        """Client-side attribution: one completed request as the load
+        generator saw it.  The RTT is measured from the *first* send
+        attempt to the reply, so a retransmitted RPC contributes one
+        sample (with its retry waits included and its retransmit count
+        on the span) — never one sample per attempt.
+        """
+        self._client_requests.inc()
+        self._client_rtt.observe(rtt_ns)
+        t_end = self.sim.now if self.sim is not None else 0.0
+        span_id = self._next_span_id()
+        retransmits = 0
+        links = ()
+        if rpc_id is not None:
+            chain = self._chain(rpc_id)
+            if chain["last_span_id"] is not None:
+                links = (chain["last_span_id"],)
+            retransmits = (chain["request"]["retransmits"]
+                           + chain["reply"]["retransmits"])
+            chain["client_spans"] += 1
+            chain["last_span_id"] = span_id
+        self.ring.append(Span(
+            kind=f"client.{kind}", status=status, core=core, t_end=t_end,
+            total_ns=rtt_ns, stages={}, span_id=span_id, rpc_id=rpc_id,
+            retransmits=retransmits, links=links,
+        ))
+
     # -- derived views ---------------------------------------------------------
+
+    def request_digest(self):
+        """Server-wide request-latency digest: the per-core digests
+        merged into one (the multicore aggregation path; equals the
+        ``server.request_ns`` histogram's own digest within the bound)."""
+        return merged(self._core_digests.values())
+
+    def request_quantile(self, q):
+        """Percentile-exact service-time quantile across every core."""
+        return self.request_digest().quantile(q)
 
     def reset(self):
         """Zero the registry and re-anchor utilisation windows."""
         self.registry.reset()
         self.ring.clear()
+        self._rpc_chains = {}
+        self._core_digests = {}
         for (host, index), _ in list(self._busy_baseline.items()):
             self._busy_baseline[(host, index)] = host.cpus[index].busy_time
 

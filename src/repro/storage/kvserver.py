@@ -416,7 +416,8 @@ class HomaKVServer(_KVDispatch):
                 rpc.reply(response, ctx)
             finally:
                 if recorder is not None:
-                    recorder.request_end(kind, status, core, ctx)
+                    recorder.request_end(kind, status, core, ctx,
+                                         rpc_id=rpc.rpc_id)
 
     def __repr__(self):
         return f"<HomaKVServer :{self.port} engine={self.engine.name}>"

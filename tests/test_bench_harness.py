@@ -46,8 +46,12 @@ class TestWrkStats:
         stats.rtts_ns = [float(i) * 1000 for i in range(1, 101)]
         stats.measure_start, stats.measure_end = 0.0, 1e9
         assert stats.avg_rtt_us == pytest.approx(50.5)
-        assert stats.percentile_us(50) == pytest.approx(51.0)
-        assert stats.percentile_us(99) == pytest.approx(100.0)
+        # Linear interpolation at rank = p/100 * (n-1): over 1..100 us
+        # the p-th percentile is exactly 1 + 0.99*p us.
+        assert stats.percentile_us(50) == pytest.approx(50.5)
+        assert stats.percentile_us(99) == pytest.approx(99.01)
+        assert stats.percentile_us(0) == pytest.approx(1.0)
+        assert stats.percentile_us(100) == pytest.approx(100.0)
 
     def test_throughput_from_window(self):
         stats = WrkStats()

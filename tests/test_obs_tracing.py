@@ -102,6 +102,8 @@ class TestTraceRing:
         assert entry == {
             "kind": "GET", "status": 404, "core": 1, "t_end_ns": 9.0,
             "total_ns": 5.0, "stages": {"networking": 5.0},
+            "span_id": 0, "rpc_id": None, "attempt": 0, "retransmits": 0,
+            "links": [],
         }
 
     def test_clear(self):
