@@ -89,6 +89,52 @@ class CostModel:
         self.store_copy_per_byte = store_copy_per_byte
         self.crc_per_byte = crc_per_byte
         self.crc_fixed = crc_fixed
+        self._rebuild_charge_table()
+
+    def _rebuild_charge_table(self):
+        """Precompute the flat (category, op) -> ns charge table.
+
+        Fixed-cost charges are the bulk of the per-packet accounting
+        (several per simulated frame), so the hot ``charge_*`` methods
+        read one precomputed ``(ns, category)`` tuple instead of
+        recombining attribute + category string on every call.  Byte-
+        proportional charges keep their slope/intercept attributes.
+        """
+        fixed = {
+            ("net.driver", "driver_rx"): self.driver_rx,
+            ("net.driver", "driver_tx"): self.driver_tx,
+            ("net.ip", "ip_rx"): self.ip_rx,
+            ("net.ip", "ip_tx"): self.ip_tx,
+            ("net.tcp", "tcp_rx"): self.tcp_rx,
+            ("net.tcp", "tcp_tx"): self.tcp_tx,
+            ("net.tcp", "ooo_insert"): self.ooo_insert,
+            ("net.sock", "sock_deliver"): self.sock_deliver,
+            ("net.sock", "sock_send"): self.sock_send,
+            ("net.alloc", "pktbuf_alloc"): self.pktbuf_alloc,
+            ("net.http", "http_build"): self.http_build,
+            ("app", "app_fixed"): self.app_fixed,
+            ("datamgmt.prep", "request_prep"): self.request_prep,
+        }
+        self._charge_table = fixed
+        # Hot-path tuples, one per fixed-cost charge method.
+        self._t_driver_rx = (self.driver_rx, "net.driver")
+        self._t_driver_tx = (self.driver_tx, "net.driver")
+        self._t_ip_rx = (self.ip_rx, "net.ip")
+        self._t_ip_tx = (self.ip_tx, "net.ip")
+        self._t_tcp_rx = (self.tcp_rx, "net.tcp")
+        self._t_tcp_tx = (self.tcp_tx, "net.tcp")
+        self._t_ooo_insert = (self.ooo_insert, "net.tcp")
+        self._t_sock_deliver = (self.sock_deliver, "net.sock")
+        self._t_sock_send = (self.sock_send, "net.sock")
+        self._t_pktbuf_alloc = (self.pktbuf_alloc, "net.alloc")
+        self._t_http_build = (self.http_build, "net.http")
+        self._t_app = (self.app_fixed, "app")
+        self._t_request_prep = (self.request_prep, "datamgmt.prep")
+
+    @property
+    def charge_table(self):
+        """The precomputed flat ``(category, op) -> ns`` table (read-only)."""
+        return dict(self._charge_table)
 
     # ------------------------------------------------------------- profiles
 
@@ -152,6 +198,7 @@ class CostModel:
         """A modified copy of this model (used by ablation benches)."""
         fields = {
             key: value for key, value in self.__dict__.items()
+            if not key.startswith("_")
         }
         fields.update(overrides)
         return CostModel(**fields)
@@ -159,31 +206,40 @@ class CostModel:
     # --------------------------------------------------------- network charges
 
     def charge_driver_rx(self, ctx):
-        return ctx.charge(self.driver_rx, "net.driver")
+        entry = self._t_driver_rx
+        return ctx.charge(entry[0], entry[1])
 
     def charge_driver_tx(self, ctx):
-        return ctx.charge(self.driver_tx, "net.driver")
+        entry = self._t_driver_tx
+        return ctx.charge(entry[0], entry[1])
 
     def charge_ip_rx(self, ctx):
-        return ctx.charge(self.ip_rx, "net.ip")
+        entry = self._t_ip_rx
+        return ctx.charge(entry[0], entry[1])
 
     def charge_ip_tx(self, ctx):
-        return ctx.charge(self.ip_tx, "net.ip")
+        entry = self._t_ip_tx
+        return ctx.charge(entry[0], entry[1])
 
     def charge_tcp_rx(self, ctx):
-        return ctx.charge(self.tcp_rx, "net.tcp")
+        entry = self._t_tcp_rx
+        return ctx.charge(entry[0], entry[1])
 
     def charge_tcp_tx(self, ctx):
-        return ctx.charge(self.tcp_tx, "net.tcp")
+        entry = self._t_tcp_tx
+        return ctx.charge(entry[0], entry[1])
 
     def charge_sock_deliver(self, ctx):
-        return ctx.charge(self.sock_deliver, "net.sock")
+        entry = self._t_sock_deliver
+        return ctx.charge(entry[0], entry[1])
 
     def charge_sock_send(self, ctx):
-        return ctx.charge(self.sock_send, "net.sock")
+        entry = self._t_sock_send
+        return ctx.charge(entry[0], entry[1])
 
     def charge_pktbuf_alloc(self, ctx):
-        return ctx.charge(self.pktbuf_alloc, "net.alloc")
+        entry = self._t_pktbuf_alloc
+        return ctx.charge(entry[0], entry[1])
 
     def charge_copy_to_skb(self, ctx, nbytes):
         return ctx.charge(nbytes * self.copy_per_byte, "net.copy")
@@ -193,7 +249,8 @@ class CostModel:
         return ctx.charge(self.csum_fixed + nbytes * self.csum_per_byte, "net.csum")
 
     def charge_ooo_insert(self, ctx):
-        return ctx.charge(self.ooo_insert, "net.tcp")
+        entry = self._t_ooo_insert
+        return ctx.charge(entry[0], entry[1])
 
     def charge_http_parse(self, ctx, nbytes):
         return ctx.charge(
@@ -201,17 +258,20 @@ class CostModel:
         )
 
     def charge_http_build(self, ctx):
-        return ctx.charge(self.http_build, "net.http")
+        entry = self._t_http_build
+        return ctx.charge(entry[0], entry[1])
 
     def charge_app(self, ctx):
         """The application's own (non-storage) request handling."""
-        return ctx.charge(self.app_fixed, "app")
+        entry = self._t_app
+        return ctx.charge(entry[0], entry[1])
 
     # --------------------------------------------------------- storage charges
 
     def charge_request_prep(self, ctx):
         """Building the store's internal request structure (Table 1 row 1)."""
-        return ctx.charge(self.request_prep, "datamgmt.prep")
+        entry = self._t_request_prep
+        return ctx.charge(entry[0], entry[1])
 
     def charge_crc(self, ctx, nbytes):
         """Software CRC32C over a stored value (Table 1 row 2)."""

@@ -13,9 +13,20 @@ Two checksums matter to the paper:
 Both are implemented for real here — benches charge modeled cost, but
 tests verify actual bit-level behaviour (corruption detection, known
 vectors).
+
+Implementation note: these run on the wall-clock hot path of every
+simulated frame and every stored value, so the word loops are hoisted
+into ``struct`` bulk unpacks and the CRC uses slicing-by-8 with a
+small memo for repeated values.  The *results* are bit-identical to
+the reference byte loops (tests/test_net_checksum.py pins both against
+known vectors and a reference implementation).
 """
 
-# CRC32C (Castagnoli) table, generated once at import.
+import struct
+
+# CRC32C (Castagnoli) slicing-by-8 tables, generated once at import.
+# _CRC32C_TABLE (table 0) is the classic byte-at-a-time table; tables
+# 1..7 extend it so eight input bytes fold in one step.
 _CRC32C_POLY = 0x82F63B78
 _CRC32C_TABLE = []
 for _i in range(256):
@@ -24,14 +35,60 @@ for _i in range(256):
         _crc = (_crc >> 1) ^ _CRC32C_POLY if _crc & 1 else _crc >> 1
     _CRC32C_TABLE.append(_crc)
 
+_CRC32C_SLICES = [list(_CRC32C_TABLE)]
+for _k in range(1, 8):
+    _prev = _CRC32C_SLICES[_k - 1]
+    _CRC32C_SLICES.append(
+        [_CRC32C_TABLE[_prev[_i] & 0xFF] ^ (_prev[_i] >> 8)
+         for _i in range(256)]
+    )
+_T0, _T1, _T2, _T3, _T4, _T5, _T6, _T7 = _CRC32C_SLICES
+
+#: Bounded value -> CRC memo.  Stores repeatedly checksum the same
+#: value bytes (wrk reuses one payload per run; LevelDB-style verify
+#: re-CRCs what was just written), and a CRC is a pure function of its
+#: input, so caching is safe.  Cleared wholesale when full.
+_CRC_MEMO = {}
+_CRC_MEMO_MAX = 512
+_CRC_MEMO_VALUE_MAX = 1 << 16
+
 
 def crc32c(data, seed=0):
     """CRC32C (Castagnoli) of ``data``; matches the common library value."""
+    memo_key = None
+    if seed == 0 and type(data) is bytes and len(data) <= _CRC_MEMO_VALUE_MAX:
+        memo_key = data
+        cached = _CRC_MEMO.get(memo_key)
+        if cached is not None:
+            return cached
     crc = seed ^ 0xFFFFFFFF
+    length = len(data)
+    nquads = length >> 3
+    offset = nquads << 3
+    if nquads:
+        for (quad,) in struct.iter_unpack("<Q", memoryview(data)[:offset]):
+            quad ^= crc
+            low = quad & 0xFFFFFFFF
+            high = quad >> 32
+            crc = (
+                _T7[low & 0xFF]
+                ^ _T6[(low >> 8) & 0xFF]
+                ^ _T5[(low >> 16) & 0xFF]
+                ^ _T4[low >> 24]
+                ^ _T3[high & 0xFF]
+                ^ _T2[(high >> 8) & 0xFF]
+                ^ _T1[(high >> 16) & 0xFF]
+                ^ _T0[high >> 24]
+            )
     table = _CRC32C_TABLE
-    for byte in data:
-        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
-    return crc ^ 0xFFFFFFFF
+    for index in range(offset, length):
+        crc = table[(crc ^ data[index]) & 0xFF] ^ (crc >> 8)
+    crc ^= 0xFFFFFFFF
+    if memo_key is not None:
+        if len(_CRC_MEMO) >= _CRC_MEMO_MAX:
+            _CRC_MEMO.clear()
+        _CRC_MEMO[memo_key] = crc
+    return crc
 
 
 def internet_checksum(data, seed=0):
@@ -40,13 +97,7 @@ def internet_checksum(data, seed=0):
     ``seed`` lets callers fold in a pseudo-header sum computed
     separately (as TCP does).
     """
-    total = seed
-    length = len(data)
-    # Sum 16-bit big-endian words.
-    for i in range(0, length - 1, 2):
-        total += (data[i] << 8) | data[i + 1]
-    if length & 1:
-        total += data[-1] << 8
+    total = checksum_partial(data, seed)
     # Fold carries.
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
@@ -57,8 +108,11 @@ def checksum_partial(data, seed=0):
     """Unfolded one's-complement sum, for incremental computation."""
     total = seed
     length = len(data)
-    for i in range(0, length - 1, 2):
-        total += (data[i] << 8) | data[i + 1]
+    nwords = length >> 1
+    if nwords:
+        # Sum 16-bit big-endian words in one bulk unpack; identical to
+        # accumulating (data[i] << 8) | data[i+1] per word.
+        total += sum(struct.unpack_from("!%dH" % nwords, data))
     if length & 1:
         total += data[-1] << 8
     return total

@@ -77,7 +77,13 @@ class EthernetHeader:
         if len(data) < ETH_HEADER_LEN:
             raise ValueError("truncated Ethernet header")
         dst, src, ethertype = cls._fmt.unpack_from(data, 0)
-        return cls(dst, src, ethertype)
+        # struct already yields validated 6-byte fields; skip the
+        # string-parsing constructor on the per-frame path.
+        header = object.__new__(cls)
+        header.dst = dst
+        header.src = src
+        header.ethertype = ethertype
+        return header
 
     def __repr__(self):
         return f"<Eth {self.src.hex(':')}→{self.dst.hex(':')} type=0x{self.ethertype:04x}>"
@@ -97,16 +103,31 @@ class IPv4Header:
         self.ttl = ttl
         self.ident = ident
 
+    #: (src, dst, proto, total_len, ttl, ident) -> packed bytes.  A
+    #: steady-state connection re-emits headers differing only in
+    #: total_len/ident, so the working set is tiny; bounded + cleared
+    #: wholesale to stay a cache, not a leak.
+    _pack_memo = {}
+
     def pack(self):
-        header = bytearray(
-            self._fmt.pack(
-                0x45, 0, self.total_len, self.ident, 0, self.ttl,
-                self.proto, 0, self.src, self.dst,
+        key = (self.src, self.dst, self.proto, self.total_len, self.ttl,
+               self.ident)
+        memo = IPv4Header._pack_memo
+        packed = memo.get(key)
+        if packed is None:
+            header = bytearray(
+                self._fmt.pack(
+                    0x45, 0, self.total_len, self.ident, 0, self.ttl,
+                    self.proto, 0, self.src, self.dst,
+                )
             )
-        )
-        csum = checksum_finish(checksum_partial(header))
-        struct.pack_into("!H", header, 10, csum)
-        return bytes(header)
+            csum = checksum_finish(checksum_partial(header))
+            struct.pack_into("!H", header, 10, csum)
+            packed = bytes(header)
+            if len(memo) >= 4096:
+                memo.clear()
+            memo[key] = packed
+        return packed
 
     @classmethod
     def unpack(cls, data):
@@ -115,7 +136,14 @@ class IPv4Header:
         (vihl, _tos, total_len, ident, _frag, ttl, proto, _csum, src, dst) = cls._fmt.unpack_from(data, 0)
         if vihl >> 4 != 4:
             raise ValueError(f"not IPv4 (version={vihl >> 4})")
-        header = cls(src, dst, proto, total_len, ttl, ident)
+        # Wire fields are already ints in range; skip ip_to_int.
+        header = object.__new__(cls)
+        header.src = src
+        header.dst = dst
+        header.proto = proto
+        header.total_len = total_len
+        header.ttl = ttl
+        header.ident = ident
         return header
 
     def verify_checksum(self, raw):
@@ -126,9 +154,16 @@ class IPv4Header:
         return total == 0xFFFF
 
     def pseudo_header_sum(self, tcp_len):
-        """One's-complement partial sum of the TCP pseudo-header."""
-        pseudo = struct.pack("!IIBBH", self.src, self.dst, 0, self.proto, tcp_len)
-        return checksum_partial(pseudo)
+        """One's-complement partial sum of the TCP pseudo-header.
+
+        Computed arithmetically: the pseudo-header's 16-bit words are
+        the halves of src and dst, (zero << 8 | proto), and tcp_len —
+        identical to summing the packed 12 bytes.
+        """
+        src = self.src
+        dst = self.dst
+        return ((src >> 16) + (src & 0xFFFF) + (dst >> 16) + (dst & 0xFFFF)
+                + self.proto + tcp_len)
 
     def __repr__(self):
         return f"<IPv4 {int_to_ip(self.src)}→{int_to_ip(self.dst)} len={self.total_len}>"
@@ -164,7 +199,17 @@ class TCPHeader:
         (src_port, dst_port, seq, ack, offset_byte, flags, window, checksum, urgent) = cls._fmt.unpack_from(data, 0)
         if (offset_byte >> 4) * 4 < TCP_HEADER_LEN:
             raise ValueError("bad TCP data offset")
-        return cls(src_port, dst_port, seq, ack, flags, window, checksum, urgent)
+        # Wire fields are already masked 32-bit ints; build directly.
+        header = object.__new__(cls)
+        header.src_port = src_port
+        header.dst_port = dst_port
+        header.seq = seq
+        header.ack = ack
+        header.flags = flags
+        header.window = window
+        header.checksum = checksum
+        header.urgent = urgent
+        return header
 
     def compute_checksum(self, ip_header, payload):
         """TCP checksum over pseudo-header + header + payload."""

@@ -35,14 +35,13 @@ import struct
 
 from repro.net.headers import (
     ETH_HEADER_LEN,
-    ETHERTYPE_IPV4,
     IPV4_HEADER_LEN,
-    EthernetHeader,
     IPv4Header,
     ip_to_int,
 )
 from repro.net.pktbuf import PktBuf
 from repro.net.pool import PoolExhausted
+from repro.net.stack import _eth_header_bytes
 from repro.net.tcp import RxSegment
 from repro.sim.units import MILLIS
 
@@ -369,12 +368,7 @@ class HomaTransport:
         )
         pkt.push(ip_header.pack())
         self.costs.charge_ip_tx(ctx)
-        eth = EthernetHeader(
-            dst=b"\x02\x00" + dst_ip.to_bytes(4, "big"),
-            src=b"\x02\x00" + self.host.ip.to_bytes(4, "big"),
-            ethertype=ETHERTYPE_IPV4,
-        )
-        pkt.push(eth.pack())
+        pkt.push(_eth_header_bytes(self.host.ip, dst_ip))
         self.costs.charge_driver_tx(ctx)
         self._pending_tx.append((pkt, ip_header.dst))
         return pkt
@@ -398,12 +392,11 @@ class HomaTransport:
         if len(cpus) == 1 or \
                 pkt.data_len < ETH_HEADER_LEN + IPV4_HEADER_LEN + HOMA_HEADER_LEN:
             return cpus[0]
-        raw = pkt.linear_bytes()
-        try:
-            header = HomaHeader.unpack(raw[ETH_HEADER_LEN + IPV4_HEADER_LEN:])
-        except (struct.error, ValueError):
-            return cpus[0]
-        return cpus[header.rpc_id % len(cpus)]
+        # The length guard above covers the whole Homa header, so read
+        # just the 8-byte rpc_id field (header offset 8) rather than
+        # materialising the full frame to unpack one field.
+        raw = pkt.payload_slice(ETH_HEADER_LEN + IPV4_HEADER_LEN + 8, 8)
+        return cpus[int.from_bytes(raw, "big") % len(cpus)]
 
     def core_for_rpc(self, rpc_id):
         """The core :meth:`core_for_packet` steers this RPC's packets to."""

@@ -59,6 +59,45 @@ class NicFeatures:
 #: TCP keeps it at 16; the Homa-like transport (IP proto 0xFD) at 2.
 _L4_CSUM_OFFSET = {IPPROTO_TCP: 16, 0xFD: 2}
 
+_U16 = struct.Struct("!H")
+_U32x2 = struct.Struct("!II")
+
+_IP_PROTO_OFF = ETH_HEADER_LEN + 9
+_IP_TOTAL_LEN_OFF = ETH_HEADER_LEN + 2
+_IP_SRC_OFF = ETH_HEADER_LEN + 12
+
+
+def _l4_csum_info(frame):
+    """(field_frame_offset, stored_value, computed_value) for a frame.
+
+    One pass over the headers for both the stored checksum field and
+    the checksum the frame *should* carry (its field zeroed) — the tx
+    and rx offload paths each need both.  Returns None for protocols
+    the offload does not know; raises ValueError on malformed headers
+    (like the header codecs would).
+    """
+    if len(frame) < ETH_HEADER_LEN + IPV4_HEADER_LEN:
+        raise ValueError("truncated IPv4 header")
+    if frame[ETH_HEADER_LEN] >> 4 != 4:
+        raise ValueError(f"not IPv4 (version={frame[ETH_HEADER_LEN] >> 4})")
+    proto = frame[_IP_PROTO_OFF]
+    csum_off = _L4_CSUM_OFFSET.get(proto)
+    if csum_off is None:
+        return None
+    (total_len,) = _U16.unpack_from(frame, _IP_TOTAL_LEN_OFF)
+    src, dst = _U32x2.unpack_from(frame, _IP_SRC_OFF)
+    l4_len = total_len - IPV4_HEADER_LEN
+    l4_start = ETH_HEADER_LEN + IPV4_HEADER_LEN
+    position = l4_start + csum_off
+    (stored,) = _U16.unpack_from(frame, position)
+    pseudo = ((src >> 16) + (src & 0xFFFF) + (dst >> 16) + (dst & 0xFFFF)
+              + proto + l4_len)
+    # The checksum field sits on a word boundary, so its contribution
+    # to the unfolded word sum is exactly ``stored``; subtracting it
+    # equals summing with the field zeroed.
+    partial = checksum_partial(frame[l4_start:l4_start + l4_len], pseudo)
+    return position, stored, checksum_finish(partial - stored)
+
 
 def _l4_checksum_of_frame(frame):
     """Compute the L4 checksum a frame *should* carry (its field zeroed).
@@ -66,28 +105,14 @@ def _l4_checksum_of_frame(frame):
     Supports every protocol the NIC offload knows (TCP and the
     Homa-like transport); returns None for anything else.
     """
-    ip = IPv4Header.unpack(frame[ETH_HEADER_LEN:])
-    csum_off = _L4_CSUM_OFFSET.get(ip.proto)
-    if csum_off is None:
-        return None
-    l4_len = ip.total_len - IPV4_HEADER_LEN
-    l4_start = ETH_HEADER_LEN + IPV4_HEADER_LEN
-    segment = bytearray(frame[l4_start:l4_start + l4_len])
-    segment[csum_off:csum_off + 2] = b"\x00\x00"
-    partial = ip.pseudo_header_sum(l4_len)
-    partial = checksum_partial(segment, partial)
-    return checksum_finish(partial)
+    info = _l4_csum_info(frame)
+    return info[2] if info is not None else None
 
 
 def _l4_csum_field(frame):
     """(field_frame_offset, stored_value) of the L4 checksum, or None."""
-    ip = IPv4Header.unpack(frame[ETH_HEADER_LEN:])
-    csum_off = _L4_CSUM_OFFSET.get(ip.proto)
-    if csum_off is None:
-        return None
-    position = ETH_HEADER_LEN + IPV4_HEADER_LEN + csum_off
-    (stored,) = struct.unpack_from("!H", frame, position)
-    return position, stored
+    info = _l4_csum_info(frame)
+    return (info[0], info[1]) if info is not None else None
 
 
 def _tcp_checksum_of_frame(frame):
@@ -142,10 +167,9 @@ class Nic:
                 )
             return self._tso_split(wire)
         if self.features.tx_csum_offload:
-            field = _l4_csum_field(bytes(wire))
-            if field is not None:
-                csum = _l4_checksum_of_frame(bytes(wire))
-                struct.pack_into("!H", wire, field[0], csum)
+            info = _l4_csum_info(wire)
+            if info is not None:
+                struct.pack_into("!H", wire, info[0], info[2])
         return [bytes(wire)]
 
     def _tso_split(self, wire):
@@ -194,13 +218,12 @@ class Nic:
             pkt.hw_tstamp = self.host.sim.now
         if self.features.rx_csum_offload and len(frame) >= HEADERS_LEN:
             try:
-                field = _l4_csum_field(frame)
+                info = _l4_csum_info(frame)
             except ValueError:
-                field = None  # malformed headers: the stack drops the frame
-            if field is not None:
-                computed = _l4_checksum_of_frame(frame)
-                pkt.wire_csum = field[1]
-                pkt.csum_verified = computed == field[1]
+                info = None  # malformed headers: the stack drops the frame
+            if info is not None:
+                pkt.wire_csum = info[1]
+                pkt.csum_verified = info[2] == info[1]
                 if not pkt.csum_verified:
                     self.stats["rx_bad_csum"] += 1
         # Hand to the host after the NIC's fixed rx latency.

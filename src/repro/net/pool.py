@@ -24,7 +24,7 @@ class PoolExhausted(MemoryError):
 class PacketBuffer:
     """A refcounted fixed-size slot of a pool's region."""
 
-    __slots__ = ("pool", "slot", "base", "size", "refcount")
+    __slots__ = ("pool", "slot", "base", "size", "refcount", "_dev", "_abs")
 
     def __init__(self, pool, slot, base, size):
         self.pool = pool
@@ -32,6 +32,14 @@ class PacketBuffer:
         self.base = base  # region-local offset of this slot
         self.size = size
         self.refcount = 1
+        # Precomputed device + absolute offset: every DMA'd frame and
+        # every payload read funnels through this handle, so the
+        # region indirection is hoisted out of the per-access path.
+        # Slot bounds are checked here; device bounds hold because the
+        # slot lies inside the pool's region by construction.
+        region = pool.region
+        self._dev = region.device
+        self._abs = region.base + base
 
     def get(self):
         """Take an additional data reference."""
@@ -57,12 +65,19 @@ class PacketBuffer:
             )
 
     def write(self, offset, data):
-        self._check(offset, len(data))
-        return self.pool.region.write(self.base + offset, data)
+        length = len(data)
+        if offset < 0 or offset + length > self.size:
+            self._check(offset, length)
+        return self._dev.write(self._abs + offset, data)
 
     def read(self, offset, length):
-        self._check(offset, length)
-        return self.pool.region.read(self.base + offset, length)
+        if offset < 0 or length < 0 or offset + length > self.size:
+            self._check(offset, length)
+        # Device bounds hold by construction (slot ⊂ region ⊂ device)
+        # and reads have no tracker/observer hooks, so read the backing
+        # store directly.
+        start = self._abs + offset
+        return bytes(self._dev.data[start:start + length])
 
     def persist(self, offset, length, ctx=NULL_CONTEXT, category="pm.flush"):
         """Flush+fence this range (meaningful only on a PM-backed pool)."""

@@ -41,6 +41,30 @@ def _mac_for_ip(ip_int):
     return bytes([0x02, 0x00]) + ip_int.to_bytes(4, "big")
 
 
+#: Wire bytes of the IPv4 ethertype, for the rx fast-path peek.
+_ETHERTYPE_IPV4_BYTES = ETHERTYPE_IPV4.to_bytes(2, "big")
+
+#: (local_ip, remote_ip) -> packed Ethernet header bytes.  The MAC
+#: derivation is a pure function of the IPs, so tx frames reuse one
+#: immutable 14-byte header per peer pair instead of rebuilding it.
+_ETH_FRAME_CACHE = {}
+_ETH_FRAME_CACHE_MAX = 4096
+
+
+def _eth_header_bytes(local_ip, remote_ip):
+    key = (local_ip, remote_ip)
+    cached = _ETH_FRAME_CACHE.get(key)
+    if cached is None:
+        if len(_ETH_FRAME_CACHE) >= _ETH_FRAME_CACHE_MAX:
+            _ETH_FRAME_CACHE.clear()
+        cached = EthernetHeader(
+            dst=_mac_for_ip(remote_ip), src=_mac_for_ip(local_ip),
+            ethertype=ETHERTYPE_IPV4,
+        ).pack()
+        _ETH_FRAME_CACHE[key] = cached
+    return cached
+
+
 class Socket:
     """Application handle for one TCP connection."""
 
@@ -291,11 +315,7 @@ class NetworkStack:
         pkt.push(tcp_header.pack())
         pkt.push(ip_header.pack())
         self.costs.charge_ip_tx(ctx)
-        eth = EthernetHeader(
-            dst=_mac_for_ip(conn.remote_ip), src=_mac_for_ip(conn.local_ip),
-            ethertype=ETHERTYPE_IPV4,
-        )
-        pkt.push(eth.pack())
+        pkt.push(_eth_header_bytes(conn.local_ip, conn.remote_ip))
         self.costs.charge_driver_tx(ctx)
         pkt.tstamp = self.sim.now
         pkt.tcp = tcp_header
@@ -318,8 +338,10 @@ class NetworkStack:
         if pkt.data_len < ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN:
             pkt.release()
             return
-        eth = EthernetHeader.unpack(pkt.linear_bytes())
-        if eth.ethertype != ETHERTYPE_IPV4:
+        # Peek just the 2-byte ethertype instead of materialising the
+        # whole frame (linear_bytes reads every payload byte off the
+        # device) to unpack a header whose only consulted field is this.
+        if pkt.payload_slice(ETH_HEADER_LEN - 2, 2) != _ETHERTYPE_IPV4_BYTES:
             pkt.release()
             return
         pkt.l2_off = pkt.data_off

@@ -591,20 +591,17 @@ class TcpConnection:
         """Process one received segment (already demuxed to this connection)."""
         self.stats["rx_segments"] += 1
         self.last_activity = self.stack.sim.now
-        handler = {
-            TcpState.SYN_SENT: self._input_syn_sent,
-            TcpState.SYN_RCVD: self._input_syn_rcvd,
-            TcpState.ESTABLISHED: self._input_established,
-            TcpState.FIN_WAIT_1: self._input_established,
-            TcpState.FIN_WAIT_2: self._input_established,
-            TcpState.CLOSE_WAIT: self._input_established,
-            TcpState.CLOSING: self._input_established,
-            TcpState.LAST_ACK: self._input_established,
-            TcpState.TIME_WAIT: self._input_time_wait,
-        }.get(self.state)
-        if handler is None:
-            return
-        handler(pkt, header, payload_off, payload_len, ctx)
+        # Steady-state fast path first, then the class-level dispatch
+        # table (built once, below the class body) — ``input`` runs per
+        # received segment, so no per-call dict construction.
+        state = self.state
+        if state is TcpState.ESTABLISHED:
+            self._input_established(pkt, header, payload_off, payload_len, ctx)
+        else:
+            handler = _INPUT_DISPATCH.get(state)
+            if handler is None:
+                return
+            handler(self, pkt, header, payload_off, payload_len, ctx)
         # Anything consumed but not yet acknowledged by an outgoing
         # segment gets a pure ACK — immediately (quickack, default) or
         # after the delayed-ACK interval, coalescing bursts.
@@ -840,3 +837,20 @@ class TcpConnection:
         self.time_wait_timer = self.stack.sim.schedule(
             TIME_WAIT_NS, self._teardown
         )
+
+
+#: state -> unbound input handler, shared by every connection.
+#: ESTABLISHED (and its fast path in :meth:`TcpConnection.input`) is
+#: listed too so the table is the single source of truth for which
+#: states accept segments; CLOSED and LISTEN intentionally absent.
+_INPUT_DISPATCH = {
+    TcpState.SYN_SENT: TcpConnection._input_syn_sent,
+    TcpState.SYN_RCVD: TcpConnection._input_syn_rcvd,
+    TcpState.ESTABLISHED: TcpConnection._input_established,
+    TcpState.FIN_WAIT_1: TcpConnection._input_established,
+    TcpState.FIN_WAIT_2: TcpConnection._input_established,
+    TcpState.CLOSE_WAIT: TcpConnection._input_established,
+    TcpState.CLOSING: TcpConnection._input_established,
+    TcpState.LAST_ACK: TcpConnection._input_established,
+    TcpState.TIME_WAIT: TcpConnection._input_time_wait,
+}

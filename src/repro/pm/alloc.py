@@ -72,6 +72,9 @@ class PMAllocator:
         self._holes = []
         #: offset -> payload size for live allocations.  Volatile cache.
         self._live = {}
+        #: Running total of allocated block bytes (headers + aligned
+        #: payloads) — kept incrementally so occupancy() is O(1).
+        self._used_bytes = 0
         self._heap_end = HEAP_BASE
         self._init_pressure()
         self._write_heap_end(NULL_CONTEXT)
@@ -92,6 +95,7 @@ class PMAllocator:
         alloc.persist_category = persist_category
         alloc._holes = []
         alloc._live = {}
+        alloc._used_bytes = 0
         alloc._heap_end = HEAP_BASE
         alloc._init_pressure()
         return alloc
@@ -178,6 +182,7 @@ class PMAllocator:
             self._write_header(block_off, size, FLAG_LIVE, ctx)
         payload_off = block_off + HEADER_SIZE
         self._live[payload_off] = size
+        self._used_bytes += need
         self._update_pressure()
         return payload_off
 
@@ -187,6 +192,7 @@ class PMAllocator:
             raise AllocationError(f"free of unknown offset {payload_off}")
         ctx.charge(self.free_ns, self.charge_category)
         size = self._live.pop(payload_off)
+        self._used_bytes -= HEADER_SIZE + _align(size)
         block_off = payload_off - HEADER_SIZE
         self._write_header(block_off, size, FLAG_FREE, ctx)
         self._insert_hole(block_off, HEADER_SIZE + _align(size))
@@ -208,9 +214,7 @@ class PMAllocator:
         return sorted(self._live)
 
     def used_bytes(self):
-        return sum(
-            HEADER_SIZE + _align(size) for size in self._live.values()
-        )
+        return self._used_bytes
 
     # -- hole management -----------------------------------------------------
 
@@ -248,6 +252,7 @@ class PMAllocator:
         """
         self._holes = []
         self._live = {}
+        self._used_bytes = 0
         if self.region.persistent:
             raw = self.region.device.persisted_view(
                 self.region.global_offset(0), 8
@@ -267,6 +272,7 @@ class PMAllocator:
             block = HEADER_SIZE + _align(size)
             if flags == FLAG_LIVE:
                 self._live[cursor + HEADER_SIZE] = size
+                self._used_bytes += block
             else:
                 self._insert_hole(cursor, block)
             cursor += block

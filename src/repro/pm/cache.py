@@ -45,14 +45,20 @@ class FlushTracker:
         return range(first, last + 1)
 
     def mark_store(self, offset, length):
-        """Record a store: its lines become dirty."""
+        """Record a store: its lines become dirty.
+
+        A new store to a line that was pending re-dirties it: the
+        earlier write-back snapshot still stands, but the newest bytes
+        need another clwb.
+        """
         self.stores += 1
-        for line in self.lines_for(offset, length):
-            self.dirty.add(line)
-            # A new store to a line that was pending re-dirties it: the
-            # earlier write-back snapshot still stands, but the newest
-            # bytes need another clwb.
-        return len(self.lines_for(offset, length))
+        if length <= 0:
+            return 0
+        line_size = self.line_size
+        first = offset // line_size
+        last = (offset + length - 1) // line_size
+        self.dirty.update(range(first, last + 1))
+        return last - first + 1
 
     def writeback(self, offset, length, data):
         """clwb: snapshot the current bytes of each covered dirty line.
@@ -62,13 +68,25 @@ class FlushTracker:
         which the device uses to charge flush cost.
         """
         self.flushes += 1
+        if not self.dirty or length <= 0:
+            return 0
         written = 0
-        for line in self.lines_for(offset, length):
-            if line not in self.dirty:
-                continue
-            start = line * self.line_size
-            self.pending[line] = bytes(data[start:start + self.line_size])
-            self.dirty.discard(line)
+        line_size = self.line_size
+        dirty = self.dirty
+        pending = self.pending
+        first = offset // line_size
+        last = (offset + length - 1) // line_size
+        span = last - first + 1
+        if len(dirty) < span:
+            # Sparse dirty set: walk it instead of the line range.
+            hits = [line for line in dirty if first <= line <= last]
+        else:
+            hits = [line for line in range(first, last + 1) if line in dirty]
+        mv = memoryview(data)
+        for line in hits:
+            start = line * line_size
+            pending[line] = bytes(mv[start:start + line_size])
+            dirty.discard(line)
             written += 1
         return written
 

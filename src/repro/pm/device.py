@@ -19,6 +19,8 @@ twice.  Pointer-chasing structure code (skip lists, tree walks) calls
 where the PM-vs-DRAM 346/70 ns gap enters the results.
 """
 
+import mmap
+
 from repro.pm.cache import FlushTracker
 from repro.pm.constants import (
     CACHE_LINE,
@@ -28,6 +30,22 @@ from repro.pm.constants import (
     PM_ACCESS_NS,
 )
 from repro.sim.context import NULL_CONTEXT
+
+
+def _zero_buffer(size):
+    """A writable all-zero buffer of ``size`` bytes.
+
+    Anonymous mmap gives demand-zero pages: allocation is O(1) and
+    untouched pages cost no RSS, which matters because devices are
+    sized for headroom (hundreds of MB) while most runs touch a few MB.
+    Behaves like a bytearray for everything the devices do (slice
+    read/write, memoryview, len); falls back to bytearray where mmap
+    is unavailable.
+    """
+    try:
+        return mmap.mmap(-1, size)
+    except (ValueError, OSError):
+        return bytearray(size)
 
 #: When set, every newly constructed :class:`PMDevice` calls
 #: ``_observer_factory(device)`` and keeps the result as its observer.
@@ -60,7 +78,7 @@ class MemoryDevice:
         self.size = size
         self.access_ns = access_ns
         self.name = name
-        self.data = bytearray(size)
+        self.data = _zero_buffer(size)
         self.crashes = 0
 
     def _check(self, offset, length):
@@ -71,13 +89,15 @@ class MemoryDevice:
 
     def read(self, offset, length):
         """Return ``length`` bytes at ``offset`` (CPU-visible view)."""
-        self._check(offset, length)
+        if offset < 0 or length < 0 or offset + length > self.size:
+            self._check(offset, length)
         return bytes(self.data[offset:offset + length])
 
     def write(self, offset, payload):
         """Store ``payload`` at ``offset`` in the CPU-visible view."""
         length = len(payload)
-        self._check(offset, length)
+        if offset < 0 or offset + length > self.size:
+            self._check(offset, length)
         self.data[offset:offset + length] = payload
         return length
 
@@ -107,7 +127,7 @@ class MemoryDevice:
         signature.
         """
         self.crashes += 1
-        self.data = bytearray(self.size)
+        self.data = _zero_buffer(self.size)
 
     def region(self, base, size, name=None):
         """Carve a window [base, base+size) as a :class:`Region`."""
@@ -143,7 +163,7 @@ class PMDevice(MemoryDevice):
         self.flush_line_ns = flush_line_ns
         self.fence_ns = fence_ns
         #: Bytes that have actually reached the persistence domain.
-        self.persisted = bytearray(size)
+        self.persisted = _zero_buffer(size)
         self.tracker = FlushTracker()
         #: Sanitizer hook (see :func:`set_observer_factory`); purely
         #: observational.
@@ -235,11 +255,38 @@ class Region:
             )
 
     def read(self, offset, length):
-        self._check(offset, length)
-        return self.device.read(self.base + offset, length)
+        if offset < 0 or length < 0 or offset + length > self.size:
+            self._check(offset, length)
+        # The region was bounds-checked against the device when carved,
+        # so a region-legal read is device-legal; no device subclass
+        # hooks reads (writes keep going through ``device.write`` for
+        # the flush tracker / observers), so read the store directly.
+        start = self.base + offset
+        return bytes(self.device.data[start:start + length])
+
+    def read_u64(self, offset):
+        """Little-endian u64 at ``offset`` — hot path for stored pointers."""
+        if offset < 0 or offset + 8 > self.size:
+            self._check(offset, 8)
+        start = self.base + offset
+        return int.from_bytes(self.device.data[start:start + 8], "little")
+
+    def unpack(self, struct_obj, offset):
+        """``struct_obj.unpack_from`` at region ``offset``, zero-copy.
+
+        Reads straight from the device's backing buffer (no intermediate
+        ``bytes``), which is what makes per-node header parsing cheap
+        when a structure is chased pointer by pointer.
+        """
+        size = struct_obj.size
+        if offset < 0 or offset + size > self.size:
+            self._check(offset, size)
+        return struct_obj.unpack_from(self.device.data, self.base + offset)
 
     def write(self, offset, payload):
-        self._check(offset, len(payload))
+        length = len(payload)
+        if offset < 0 or offset + length > self.size:
+            self._check(offset, length)
         return self.device.write(self.base + offset, payload)
 
     def flush(self, offset, length, ctx=NULL_CONTEXT, category="pm.flush"):

@@ -32,7 +32,11 @@ class ExecutionContext:
         if ns < 0:
             raise ValueError(f"negative charge: {ns}")
         self.elapsed += ns
-        self.by_category[category] = self.by_category.get(category, 0.0) + ns
+        by_category = self.by_category
+        if category in by_category:
+            by_category[category] += ns
+        else:
+            by_category[category] = 0.0 + ns
         if self.trace is not None:
             self.trace.append((category, ns))
         return ns
@@ -44,8 +48,12 @@ class ExecutionContext:
     def merge(self, other):
         """Fold another context's charges into this one."""
         self.elapsed += other.elapsed
+        by_category = self.by_category
         for key, value in other.by_category.items():
-            self.by_category[key] = self.by_category.get(key, 0.0) + value
+            if key in by_category:
+                by_category[key] += value
+            else:
+                by_category[key] = 0.0 + value
         if self.trace is not None and other.trace is not None:
             self.trace.extend(other.trace)
 

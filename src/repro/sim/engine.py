@@ -10,6 +10,23 @@ for the same instant run in the order they were scheduled.  Cancelled
 events stay in the heap but are skipped when popped; this keeps
 cancellation O(1), which matters for TCP retransmission timers that are
 rearmed on every ACK.
+
+Dispatch internals (this is the wall-clock hot loop of every
+benchmark, see docs/PERFORMANCE.md):
+
+- The heap holds ``(time, seq, event)`` tuples, so heap sifting
+  compares tuples at C speed instead of calling ``Event.__lt__``.
+- :meth:`run` drains *runs* of same-timestamp events in one batch:
+  the contiguous run at the head of the heap is popped once, then
+  fired in seq order without re-consulting the heap.  Events a batch
+  member schedules at the same instant get higher seqs than the whole
+  drained run, so firing them after the batch preserves the
+  (time, seq) order exactly.  Cancellation is honoured at fire time,
+  and an early exit (``stop()``/``max_events``) pushes unfired batch
+  members back, so an interrupted run leaves the queue as if events
+  had been popped one at a time.
+- Watcher notification is skipped entirely while no watchers are
+  registered (the common case for benchmarks).
 """
 
 import heapq
@@ -96,7 +113,13 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} ns in the past")
-        return self.at(self.now + delay, fn, *args)
+        # Inlined at(): delay >= 0 makes the not-in-the-past check
+        # redundant, and schedule() is the hot entry point.
+        time = self.now + delay
+        seq = next(self._seq)
+        event = Event(time, seq, fn, args)
+        heapq.heappush(self._queue, (time, seq, event))
+        return event
 
     def at(self, time, fn, *args):
         """Schedule ``fn(*args)`` at absolute simulated time ``time``."""
@@ -104,13 +127,14 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        event = Event(time, next(self._seq), fn, args)
-        heapq.heappush(self._queue, event)
+        seq = next(self._seq)
+        event = Event(time, seq, fn, args)
+        heapq.heappush(self._queue, (time, seq, event))
         return event
 
     def pending(self):
         """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return sum(1 for entry in self._queue if not entry[2].cancelled)
 
     @property
     def events_fired(self):
@@ -120,13 +144,14 @@ class Simulator:
     def step(self):
         """Run the single next event.  Returns False when the queue is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            time, _seq, event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
-            self.now = event.time
+            self.now = time
             self._events_fired += 1
             event.fn(*event.args)
-            self._notify(event)
+            if self._watchers:
+                self._notify(event)
             return True
         return False
 
@@ -146,24 +171,47 @@ class Simulator:
         self._stop_requested = False
         stopped = False
         fired = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        watchers = self._watchers  # aliased list: add/remove mutate in place
         try:
-            while self._queue:
+            while queue:
                 if max_events is not None and fired >= max_events:
                     break
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
+                head = queue[0]
+                if head[2].cancelled:
+                    heappop(queue)
                     continue
-                if until is not None and event.time > until:
+                now = head[0]
+                if until is not None and now > until:
                     break
-                heapq.heappop(self._queue)
-                self.now = event.time
-                self._events_fired += 1
-                event.fn(*event.args)
-                fired += 1
-                self._notify(event)
-                if self._stop_requested:
-                    stopped = True
+                # Drain the whole same-timestamp run at the heap head in
+                # one go; see the module docstring for why this is safe.
+                batch = [heappop(queue)]
+                while queue and queue[0][0] == now:
+                    batch.append(heappop(queue))
+                self.now = now
+                for index, entry in enumerate(batch):
+                    event = entry[2]
+                    if event.cancelled:
+                        continue
+                    if max_events is not None and fired >= max_events:
+                        for leftover in batch[index:]:
+                            heappush(queue, leftover)
+                        break
+                    self._events_fired += 1
+                    event.fn(*event.args)
+                    fired += 1
+                    if watchers:
+                        for watcher in watchers:
+                            watcher(event)
+                    if self._stop_requested:
+                        stopped = True
+                        for leftover in batch[index + 1:]:
+                            heappush(queue, leftover)
+                        break
+                if stopped:
                     break
         finally:
             self._running = False

@@ -177,7 +177,7 @@ class RegionSkipList:
     # ------------------------------------------------------------- node access
 
     def _header(self, node_off):
-        return HEADER.unpack(self.region.read(node_off, HEADER_SIZE))
+        return self.region.unpack(HEADER, node_off)
 
     def _node_key(self, node_off, key_len, height):
         return self.region.read(node_off + HEADER_SIZE + 8 * height, key_len)
@@ -188,10 +188,7 @@ class RegionSkipList:
         )
 
     def _next_of(self, node_off, level):
-        (nxt,) = struct.unpack(
-            "<Q", self.region.read(node_off + HEADER_SIZE + 8 * level, 8)
-        )
-        return nxt
+        return self.region.read_u64(node_off + HEADER_SIZE + 8 * level)
 
     def _set_next(self, node_off, level, target, ctx, fence=False):
         addr = node_off + HEADER_SIZE + 8 * level
@@ -275,16 +272,30 @@ class RegionSkipList:
         """Per-level last nodes strictly before ``order_key``."""
         preds = [self.head_off] * MAX_HEIGHT
         node = self.head_off
+        # The walk dominates every insert; alias the per-visit helpers
+        # and charge inline (identical amounts/categories to
+        # :meth:`_charge_visit`, which the non-hot paths still use).
+        region = self.region
+        next_of = self._next_of
+        header_of = self._header
+        node_key = self._node_key
+        category = self.insert_category
+        cold_levels = self.cold_levels
+        cold_ns = region.device.access_ns
+        charge = ctx.charge
         for level in range(MAX_HEIGHT - 1, -1, -1):
-            nxt = self._next_of(node, level)
+            nxt = next_of(node, level)
             while nxt:
-                key_len, _vl, height, _fl, seq, _vc, _nc = self._header(nxt)
-                key = self._node_key(nxt, key_len, height)
-                advanced = self._order(key, seq) < order_key
-                self._charge_visit(ctx, level, advanced)
+                key_len, _vl, height, _fl, seq, _vc, _nc = header_of(nxt)
+                key = node_key(nxt, key_len, height)
+                advanced = (key, MAX_SEQ - seq) < order_key
+                if level == 0 or (level < cold_levels and advanced):
+                    charge(cold_ns, category)
+                else:
+                    charge(HOT_VISIT_NS, category)
                 if advanced:
                     node = nxt
-                    nxt = self._next_of(node, level)
+                    nxt = next_of(node, level)
                 else:
                     break
             preds[level] = node
