@@ -40,6 +40,8 @@ from repro.bench.costmodel import CostModel
 from repro.bench.testbed import SERVER_IP, make_testbed, preload
 from repro.bench.workloads import YcsbWorkload, ZipfianGenerator
 from repro.bench.wrk import HomaWrkClient, WrkClient
+from repro.cluster.topology import ClusterConfig, build_cluster, \
+    preload_cluster
 from repro.net.checksum import crc32c
 from repro.pm.device import PMDevice
 from repro.pm.namespace import PMNamespace
@@ -267,10 +269,56 @@ def scenario_novelsm_ingest_recovery(scale=1.0, golden=False):
     return result
 
 
+def scenario_cluster_2shard(scale=1.0, golden=False):
+    """Sharded PUT storm over a 2-host replicated cluster (sync acks).
+
+    Every request crosses the fabric twice before its 200: client ->
+    primary, then the forwarded packet primary -> backup.  The number
+    this scenario guards is the whole replication hot path — ring
+    routing, store-and-forward, backup apply, deferred acks.
+    """
+    cluster = build_cluster(ClusterConfig(hosts=2, metrics=golden))
+    preload_cluster(cluster, entries=50, value_size=512)
+    route = cluster.router.primary
+
+    def route_ip(key):
+        return cluster.nodes[route(key)].ip
+
+    client = HomaWrkClient(
+        cluster.client, None, port=cluster.config.port, connections=8,
+        value_size=512, method="PUT", key_space=64,
+        duration_ns=scale * 8_000_000.0, warmup_ns=2_000_000.0,
+        route=route_ip,
+    )
+    digest = _EventDigest(cluster.sim) if golden else None
+    stats = client.run()
+    result = {
+        "ops": stats.completed,
+        "events": cluster.sim.events_fired,
+        "sim_ns": cluster.sim.now,
+    }
+    if golden:
+        repl = {name: dict(node.replicator.stats)
+                for name, node in cluster.nodes.items()}
+        apply_stats = {name: dict(node.applier.stats)
+                       for name, node in cluster.nodes.items()}
+        result["golden"] = {
+            "event_digest": digest.hexdigest(),
+            "events_fired": cluster.sim.events_fired,
+            "sim_now_ns": cluster.sim.now,
+            "stats": _stats_golden(stats),
+            "replication": repl,
+            "apply": apply_stats,
+            "metrics": cluster.metrics.snapshot(),
+        }
+    return result
+
+
 SCENARIOS = {
     "wrk-tcp": scenario_wrk_tcp,
     "homa-storm": scenario_homa_storm,
     "novelsm-ingest-recovery": scenario_novelsm_ingest_recovery,
+    "cluster-2shard": scenario_cluster_2shard,
 }
 
 

@@ -234,16 +234,22 @@ class HomaWrkClient:
     request/response pair is a pair of Homa messages — no connections,
     no handshake, receiver-driven flow control.  ``connections`` here
     means independent closed loops.
+
+    ``route``, when given, is a callable ``key -> server_ip`` consulted
+    per request — that's how the cluster benchmark shards a single
+    closed-loop workload across hosts.  Without it every request goes
+    to ``server_ip``.
     """
 
     def __init__(self, host, server_ip, port=80, connections=1,
                  value_size=1024, method="PUT", key_space=1000,
                  duration_ns=20_000_000.0, warmup_ns=5_000_000.0,
-                 key_prefix="key"):
+                 key_prefix="key", route=None):
         self.host = host
         self.costs = host.costs
         self.transport = host.enable_homa()
         self.server_ip = server_ip
+        self.route = route
         self.port = port
         self.connections = connections
         self.value_size = value_size
@@ -255,11 +261,13 @@ class HomaWrkClient:
         self.stats = WrkStats()
         self._value = bytes((0x61 + (i % 23)) for i in range(value_size))
         self._counter = 0
+        self._last_key = None
         self.stop_at = None
 
     def _request_bytes(self, loop_id):
         self._counter += 1
         key = f"{self.key_prefix}-{loop_id}-{self._counter % self.key_space}"
+        self._last_key = key
         if self.method == "GET":
             return build_request("GET", f"/{key}")
         return build_request(self.method, f"/{key}", self._value)
@@ -298,9 +306,11 @@ class HomaWrkClient:
                                state["status"], rpc_id)
             )
 
+        payload = self._request_bytes(loop_id)
+        dst_ip = self.route(self._last_key) if self.route is not None \
+            else self.server_ip
         rpc_id = self.transport.send_request(
-            self.server_ip, self.port, self._request_bytes(loop_id),
-            ctx, on_reply=on_reply,
+            dst_ip, self.port, payload, ctx, on_reply=on_reply,
         )
         self.host.call_at_completion(
             lambda t_end, c: state.update(sent_at=t_end)

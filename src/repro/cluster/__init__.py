@@ -1,0 +1,58 @@
+"""Sharded + replicated PacketStore across simulated hosts.
+
+The paper's thesis — packets *are* the persistent data structure —
+means a replica can be kept consistent by simply forwarding the
+original NIC-verified request packets: no serialization layer, no
+replication log format.  This package builds that claim out to a
+multi-host topology:
+
+- :mod:`repro.cluster.hashring` — consistent-hash key → (primary,
+  backup) placement that survives host death by walking to the next
+  alive node.
+- :mod:`repro.cluster.backoff` — deterministic bounded exponential
+  backoff schedules (no wall clock, no unseeded randomness).
+- :mod:`repro.cluster.replication` — ack-tracked store-and-forward of
+  the original request bytes primary → backup over Homa, idempotent on
+  the backup by origin RPC id.
+- :mod:`repro.cluster.topology` — ``Cluster``: N server hosts, one
+  shared fabric, a client-side consistent-hash router, whole-host kill
+  + failover promotion.
+
+See docs/RESILIENCE.md §"Sharding, replication and whole-host
+failover" for semantics, and ``repro-chaoscheck --cluster`` for the
+host-kill storm that proves them.
+"""
+
+from repro.cluster.backoff import Backoff
+from repro.cluster.hashring import HashRing
+from repro.cluster.replication import (
+    ReplicationApplier,
+    Replicator,
+    decode_repl_ack,
+    decode_repl_header,
+    encode_repl_ack,
+    encode_repl_message,
+)
+from repro.cluster.topology import (
+    Cluster,
+    ClusterConfig,
+    ClusterNode,
+    Router,
+    build_cluster,
+)
+
+__all__ = [
+    "Backoff",
+    "HashRing",
+    "Replicator",
+    "ReplicationApplier",
+    "encode_repl_message",
+    "decode_repl_header",
+    "encode_repl_ack",
+    "decode_repl_ack",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterNode",
+    "Router",
+    "build_cluster",
+]

@@ -1,0 +1,52 @@
+"""Deterministic bounded retry backoff for replication.
+
+The replication path retries over sim-time, so the schedule must be a
+pure function of the attempt number: no wall clock, no unseeded jitter
+(DET-01).  ``Backoff`` is exactly that — a capped exponential
+schedule with a hard retry limit, shared by the replicator's ack
+tracking and the property tests that pin its contract.
+"""
+
+
+class Backoff:
+    """Capped exponential backoff: ``delay(n) = min(cap, base·mult^n)``.
+
+    ``max_retries`` bounds how many retries are allowed *after* the
+    first attempt; ``schedule()`` therefore yields exactly
+    ``max_retries`` delays.  All times are simulated nanoseconds.
+    """
+
+    __slots__ = ("base_ns", "multiplier", "cap_ns", "max_retries")
+
+    def __init__(self, base_ns=2_000_000.0, multiplier=2.0,
+                 cap_ns=20_000_000.0, max_retries=4):
+        if base_ns <= 0:
+            raise ValueError(f"base_ns must be > 0, got {base_ns}")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if cap_ns < base_ns:
+            raise ValueError(f"cap_ns {cap_ns} < base_ns {base_ns}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.base_ns = float(base_ns)
+        self.multiplier = float(multiplier)
+        self.cap_ns = float(cap_ns)
+        self.max_retries = int(max_retries)
+
+    def delay(self, attempt):
+        """Delay before retry ``attempt`` (0-based).  Monotone, capped."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        return min(self.cap_ns, self.base_ns * self.multiplier ** attempt)
+
+    def schedule(self):
+        """The full retry schedule: ``max_retries`` delays, in order."""
+        return [self.delay(n) for n in range(self.max_retries)]
+
+    def exhausted(self, attempt):
+        """True once ``attempt`` retries have been spent."""
+        return attempt >= self.max_retries
+
+    def __repr__(self):
+        return (f"<Backoff base={self.base_ns:.0f}ns x{self.multiplier} "
+                f"cap={self.cap_ns:.0f}ns retries={self.max_retries}>")

@@ -1,0 +1,106 @@
+"""Consistent-hash placement of keys onto cluster nodes.
+
+Classic Karger-style ring: every node projects ``vnodes`` virtual
+points onto a 64-bit circle, a key lives at the first point clockwise
+from its own hash, and replicas are the next *distinct* nodes further
+clockwise.  Two properties matter here:
+
+- **Stability under death.**  Killing a node only moves the keys it
+  owned (to the next alive node clockwise) — which is exactly the
+  failover rule: the backup for a key is the next distinct alive node
+  after its primary, so when the primary dies the route function
+  *automatically* promotes the backup.  No epoch bump, no rebalance
+  protocol; the alive-set is the routing table.
+- **Determinism.**  Hashing is seeded SHA-1 over the node name /
+  key bytes: the same topology gives byte-identical placement in every
+  run on every platform (DET-01 — no ``hash()`` randomisation).
+"""
+
+import bisect
+import hashlib
+
+
+def _hash64(data):
+    """Stable 64-bit hash of ``bytes`` (first 8 bytes of SHA-1)."""
+    return int.from_bytes(hashlib.sha1(data).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over named nodes.
+
+    ``nodes`` is an iterable of node names (strings).  ``route(key)``
+    returns the first ``replicas`` distinct *alive* nodes clockwise
+    from the key's point — index 0 is the primary, index 1 the backup.
+    """
+
+    def __init__(self, nodes, vnodes=64, replicas=2):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.nodes = list(dict.fromkeys(nodes))  # order-preserving dedup
+        if not self.nodes:
+            raise ValueError("HashRing needs at least one node")
+        self.vnodes = vnodes
+        self.replicas = replicas
+        self._alive = set(self.nodes)
+        points = []
+        for name in self.nodes:
+            for v in range(vnodes):
+                points.append((_hash64(f"{name}#{v}".encode("utf-8")), name))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    # -- liveness -------------------------------------------------------------
+
+    @property
+    def alive(self):
+        return frozenset(self._alive)
+
+    def mark_dead(self, name):
+        """Remove ``name`` from routing; keys re-route to successors."""
+        if name not in self.nodes:
+            raise KeyError(f"unknown node {name!r}")
+        self._alive.discard(name)
+        if not self._alive:
+            raise RuntimeError("every node is dead; nothing left to route to")
+
+    def mark_alive(self, name):
+        if name not in self.nodes:
+            raise KeyError(f"unknown node {name!r}")
+        self._alive.add(name)
+
+    # -- placement ------------------------------------------------------------
+
+    def route(self, key, replicas=None):
+        """Distinct alive nodes for ``key``: ``[primary, backup, ...]``.
+
+        Fewer than ``replicas`` entries come back when fewer distinct
+        alive nodes exist (a 1-alive-node cluster runs unreplicated).
+        """
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        want = self.replicas if replicas is None else replicas
+        start = bisect.bisect_left(self._points, _hash64(key))
+        chosen = []
+        npoints = len(self._points)
+        for step in range(npoints):
+            owner = self._owners[(start + step) % npoints]
+            if owner in self._alive and owner not in chosen:
+                chosen.append(owner)
+                if len(chosen) >= want:
+                    break
+        return chosen
+
+    def primary(self, key):
+        return self.route(key, replicas=1)[0]
+
+    def backup(self, key):
+        """The key's backup node, or None in a 1-alive-node ring."""
+        route = self.route(key, replicas=2)
+        return route[1] if len(route) > 1 else None
+
+    def __repr__(self):
+        return (f"<HashRing {len(self.nodes)} nodes "
+                f"({len(self._alive)} alive) x{self.vnodes}v>")

@@ -224,6 +224,8 @@ class HomaTransport:
         self._pending_tx = []
         self._listeners = {}          # port -> handler(rpc, message, ctx)
         self._reply_waiters = {}      # rpc_id -> callback(message, ctx)
+        self._giveup_waiters = {}     # rpc_id -> callback(rpc_id)
+        self._waiter_dst = {}         # rpc_id -> dst_ip while a waiter is armed
         self._out = {}                # rpc_id -> _OutMessage (latest per id)
         self._in = {}                 # (peer_ip, rpc_id, dport) -> _InMessage
         self._completed = {}          # recently completed keys (dedup memory)
@@ -237,7 +239,7 @@ class HomaTransport:
             "tx_data": 0, "rx_data": 0, "grants": 0, "resends": 0,
             "messages_delivered": 0, "bad_csum": 0,
             "tx_dropped_nobuf": 0, "send_retries": 0, "send_give_ups": 0,
-            "dup_completed": 0,
+            "dup_completed": 0, "peer_aborts": 0,
         }
 
     # -- application surface ----------------------------------------------------
@@ -248,14 +250,26 @@ class HomaTransport:
             raise ValueError(f"port {port} already listening")
         self._listeners[port] = handler
 
-    def send_request(self, dst_ip, dst_port, data, ctx, on_reply=None, sport=None):
-        """Fire an RPC; ``on_reply(segments, ctx)`` when the answer lands."""
+    def send_request(self, dst_ip, dst_port, data, ctx, on_reply=None,
+                     sport=None, on_giveup=None):
+        """Fire an RPC; ``on_reply(segments, ctx)`` when the answer lands.
+
+        ``on_giveup(rpc_id)`` fires instead if the transport abandons
+        the RPC — retry budget exhausted or the peer declared dead via
+        :meth:`abort_peer` — after every retained clone is released.
+        Exactly one of the two callbacks runs.
+        """
         self._rpc_counter += 1
         rpc_id = self._rpc_counter
         sport = sport or self._next_ephemeral()
+        dst = ip_to_int(dst_ip)
         if on_reply is not None:
             self._reply_waiters[rpc_id] = on_reply
-        self._send_message(rpc_id, ip_to_int(dst_ip), sport, dst_port, data, ctx)
+        if on_giveup is not None:
+            self._giveup_waiters[rpc_id] = on_giveup
+        if on_reply is not None or on_giveup is not None:
+            self._waiter_dst[rpc_id] = dst
+        self._send_message(rpc_id, dst, sport, dst_port, data, ctx)
         return rpc_id
 
     def _next_ephemeral(self):
@@ -282,23 +296,43 @@ class HomaTransport:
             SEND_TIMEOUT, self._on_send_timeout, message.rpc_id
         )
 
+    def _give_up(self, message):
+        """Terminal give-up on an outgoing message: the peer is presumed
+        dead.  Releases every queued retransmission clone, cancels the
+        retry timer, emits the terminal ``homa.giveup`` span, and fails
+        the waiters — nothing will ever answer this RPC."""
+        rpc_id = message.rpc_id
+        self.stats["send_give_ups"] += 1
+        self._out.pop(rpc_id, None)
+        if message.retry_timer is not None:
+            message.retry_timer.cancel()
+            message.retry_timer = None
+        for clone in message.packets.values():
+            clone.release()
+        message.packets.clear()
+        message.ranges.clear()
+        self._reply_waiters.pop(rpc_id, None)
+        self._waiter_dst.pop(rpc_id, None)
+        if self.recorder is not None:
+            self.recorder.homa_give_up(
+                rpc_id, message.kind,
+                core=self.core_for_rpc(rpc_id).index)
+        waiter = self._giveup_waiters.pop(rpc_id, None)
+        if waiter is not None:
+            waiter(rpc_id)
+
     def _on_send_timeout(self, rpc_id):
+        if not self.host.alive:
+            return
         message = self._out.get(rpc_id)
         if message is None or message.acked:
             return
         message.retry_timer = None
         message.retries += 1
         if message.retries > MAX_SEND_RETRIES:
-            # Peer is gone; stop holding clones for a lost cause.
-            self.stats["send_give_ups"] += 1
-            del self._out[rpc_id]
-            for clone in message.packets.values():
-                clone.release()
-            message.packets.clear()
-            if self.recorder is not None:
-                self.recorder.homa_give_up(
-                    rpc_id, message.kind,
-                    core=self.core_for_rpc(rpc_id).index)
+            # Peer is gone; stop holding clones (and waiters) for a
+            # lost cause.
+            self._give_up(message)
             return
         self.stats["send_retries"] += 1
 
@@ -499,6 +533,10 @@ class HomaTransport:
                            message.sport, message.rpc_id, 0, message.msg_len, ctx)
         segments = [message.segments[off] for off in sorted(message.segments)]
         waiter = self._reply_waiters.pop(message.rpc_id, None)
+        if waiter is not None:
+            # The RPC resolved; its give-up path can no longer fire.
+            self._giveup_waiters.pop(message.rpc_id, None)
+            self._waiter_dst.pop(message.rpc_id, None)
         if self.recorder is not None:
             # Receiver-side completion: a delivered reply closes the
             # requester's chain; a delivered request precedes the
@@ -549,6 +587,75 @@ class HomaTransport:
         for clone in message.packets.values():
             clone.release()
         message.packets.clear()
+        if header.rpc_id not in self._reply_waiters:
+            # Fire-and-forget send with only a give-up callback: the
+            # receiver acked the message, so give-up can't happen now.
+            self._giveup_waiters.pop(header.rpc_id, None)
+            self._waiter_dst.pop(header.rpc_id, None)
+
+    # -- dead-peer teardown ----------------------------------------------------------
+
+    def abort_peer(self, dst_ip):
+        """Declare the peer at ``dst_ip`` dead and tear down immediately.
+
+        The sender-timeout path takes ``MAX_SEND_RETRIES × SEND_TIMEOUT``
+        (50 ms) to conclude a peer is gone; when a failure detector
+        already knows (whole-host kill, failover), waiting just pins
+        retransmission clones and reply waiters for a lost cause.  This:
+
+        - gives up every outgoing message addressed to the peer
+          (releases queued retransmission state, cancels retry timers,
+          emits terminal ``homa.giveup`` spans, fails waiters);
+        - fails reply waiters whose request was already MSG_ACKed but
+          whose reply will now never arrive;
+        - drops partially reassembled inbound messages from the peer
+          (their RESEND requests would never be answered).
+
+        Returns ``(aborted_out, dropped_in)`` counts.
+        """
+        dst = ip_to_int(dst_ip) if isinstance(dst_ip, str) else dst_ip
+        self.stats["peer_aborts"] += 1
+        aborted = 0
+        for message in [m for m in self._out.values() if m.dst_ip == dst]:
+            self._give_up(message)
+            aborted += 1
+        # Waiters with no _out state left: the request was delivered and
+        # acked (the receiver marked that side of the chain delivered),
+        # but the peer died before (or while) replying — the *reply*
+        # side is what will never resolve now.
+        abandoned_replies = set()
+        for rpc_id in [r for r, d in self._waiter_dst.items() if d == dst]:
+            self.stats["send_give_ups"] += 1
+            self._reply_waiters.pop(rpc_id, None)
+            self._waiter_dst.pop(rpc_id, None)
+            abandoned_replies.add(rpc_id)
+            if self.recorder is not None:
+                self.recorder.homa_give_up(
+                    rpc_id, "reply", core=self.core_for_rpc(rpc_id).index)
+            waiter = self._giveup_waiters.pop(rpc_id, None)
+            if waiter is not None:
+                waiter(rpc_id)
+            aborted += 1
+        dropped = 0
+        for key in [k for k, m in self._in.items() if m.peer_ip == dst]:
+            message = self._in.pop(key)
+            if message.resend_timer is not None:
+                message.resend_timer.cancel()
+                message.resend_timer = None
+            for segment in message.segments.values():
+                segment.release()
+            message.segments.clear()
+            dropped += 1
+            # The dead sender's half-sent message can never finish and
+            # its own (frozen) transport will never say so — terminate
+            # the chain from this side so the trace has no orphan.  A
+            # partial reply was already marked above via its waiter.
+            if self.recorder is not None and \
+                    message.rpc_id not in abandoned_replies:
+                self.recorder.homa_give_up(
+                    message.rpc_id, "request",
+                    core=self.core_for_rpc(message.rpc_id).index)
+        return aborted, dropped
 
     # -- receiver-driven loss recovery -----------------------------------------------
 
@@ -560,6 +667,8 @@ class HomaTransport:
         )
 
     def _on_resend_timeout(self, key):
+        if not self.host.alive:
+            return
         message = self._in.get(key)
         if message is None or message.complete:
             return

@@ -137,6 +137,11 @@ class HttpParser:
         self._message = None
         self._body_remaining = 0
 
+    @property
+    def pending(self):
+        """True while a message is partially parsed (headers or body)."""
+        return self._message is not None or bool(self._head)
+
     def feed(self, segment, ctx=None, costs=None):
         """Parse one received segment; returns completed messages."""
         if costs is not None and ctx is not None:

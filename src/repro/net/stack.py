@@ -490,6 +490,9 @@ class Host:
         self.ip = ip_to_int(ip)
         self.costs = costs
         self.cpus = CpuSet(cores)
+        #: False after :meth:`kill`: the host drops rx frames and runs
+        #: no further processing slices (whole-host failure injection).
+        self.alive = True
         self.busy_poll = busy_poll
         self.irq_latency_ns = irq_latency_ns
         self._completion_hooks = []
@@ -551,8 +554,24 @@ class Host:
                 return self.homa
         return self.stack
 
+    def kill(self):
+        """Whole-host failure: stop receiving and processing, forever.
+
+        Models pulling the power cord on everything *except* the
+        persistent memory: DRAM state (sockets, reassembly buffers,
+        timers) is unrecoverable, frames addressed here fall on the
+        floor, and any timer that fires later finds ``alive`` False and
+        does nothing.  PM namespaces survive and can be recovered by a
+        replacement host — the paper's §4 durability story."""
+        self.alive = False
+
     def on_nic_rx(self, nic, pkt):
         """NIC handed us a packet (fires at arrival + NIC latency)."""
+        if not self.alive:
+            # A dead host's frames vanish; release the rx buffer the
+            # NIC already allocated so the pool itself stays coherent.
+            pkt.release()
+            return
         transport = self._transport_for(pkt)
         core = transport.core_for_packet(pkt)
         start = self.sim.now if self.busy_poll else self.sim.now + self.irq_latency_ns
@@ -565,6 +584,10 @@ class Host:
         and completion hooks it registered take effect when the core
         finishes the slice.  Returns the completion time.
         """
+        if not self.alive:
+            # Timers scheduled before the kill may still fire; a dead
+            # host executes nothing.
+            return self.sim.now
         ctx = ExecutionContext()
         hooks_before = len(self._completion_hooks)
         fn(ctx)

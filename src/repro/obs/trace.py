@@ -336,6 +336,39 @@ class Recorder:
         self.registry.counter("server.rpc.double_dispatch")
         return self
 
+    def attach_replicator(self, replicator, role="repl"):
+        """Watch a primary-side replicator: ack tracking + lag gauges.
+
+        ``<role>.lag_ns`` is the last ack-tracked replication delay
+        (first forward → backup ack) and ``<role>.lag_ns_max`` the
+        worst observed; ``<role>.pending`` counts puts still waiting on
+        a backup ack.  The counters surface every degradation decision.
+        """
+        replicator.recorder = self
+        for key in replicator.stats:
+            self.registry.gauge(
+                f"{role}.{key}",
+                fn=lambda stats=replicator.stats, k=key: float(stats.get(k, 0)),
+            )
+        self.registry.gauge(
+            f"{role}.pending",
+            fn=lambda r=replicator: float(r.pending),
+        )
+        self.registry.gauge(
+            f"{role}.suspect_backups",
+            fn=lambda r=replicator: float(len(r.suspect)),
+        )
+        return self
+
+    def attach_applier(self, applier, role="repl.apply"):
+        """Watch a backup-side replication applier: apply/dedup counts."""
+        for key in applier.stats:
+            self.registry.gauge(
+                f"{role}.{key}",
+                fn=lambda stats=applier.stats, k=key: float(stats.get(k, 0)),
+            )
+        return self
+
     # -- span-link chains (Homa retransmissions) -------------------------------
 
     def _next_span_id(self):
@@ -355,6 +388,10 @@ class Recorder:
                             "first_ns": None, "last_ns": None},
                 "reply": {"attempts": 0, "retransmits": 0,
                           "first_ns": None, "last_ns": None},
+                # Cross-host stitching: a replication RPC carrying this
+                # request to another host is a child chain of this one.
+                "parent": None,
+                "children": [],
             }
             self._rpc_chains[rpc_id] = chain
             if len(self._rpc_chains) > RPC_CHAIN_MEMORY:
@@ -369,6 +406,53 @@ class Recorder:
     def chains(self):
         """{rpc_id: chain-state} for every RPC the transports reported."""
         return dict(self._rpc_chains)
+
+    def link_rpc(self, parent_rpc_id, child_rpc_id):
+        """Stitch ``child_rpc_id`` under ``parent_rpc_id``'s chain.
+
+        Used across hosts: a primary forwarding a client request to its
+        backup links the replication RPC's chain to the origin request's
+        chain, so the whole multi-hop request is *one* trace — the
+        client span, the primary's handler span, every retransmission,
+        the replication hop(s), and the backup's apply span.
+        """
+        if parent_rpc_id == child_rpc_id:
+            return
+        child = self._chain(child_rpc_id)
+        if child["parent"] is not None:
+            return  # already stitched (replication retries reuse ids)
+        child["parent"] = parent_rpc_id
+        parent = self._chain(parent_rpc_id)
+        parent["children"].append(child_rpc_id)
+
+    def stitched(self, rpc_id):
+        """Every RPC id in the trace containing ``rpc_id``, root first.
+
+        Walks to the root of the parent links, then breadth-first over
+        children.  A plain single-host RPC comes back as ``[rpc_id]``.
+        """
+        seen = set()
+        root = rpc_id
+        while True:
+            chain = self._rpc_chains.get(root)
+            if chain is None or chain["parent"] is None or \
+                    chain["parent"] in seen:
+                break
+            seen.add(root)
+            root = chain["parent"]
+        ordered = []
+        frontier = [root]
+        visited = set()
+        while frontier:
+            current = frontier.pop(0)
+            if current in visited:
+                continue
+            visited.add(current)
+            ordered.append(current)
+            chain = self._rpc_chains.get(current)
+            if chain is not None:
+                frontier.extend(chain["children"])
+        return ordered
 
     def homa_send(self, rpc_id, direction, retransmit, core=-1):
         """One send attempt of a Homa message (original or retransmit).

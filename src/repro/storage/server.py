@@ -69,6 +69,11 @@ class ServerConfig:
     trace_capacity      request-span ring size when metrics are on
     memtable_arena      NoveLSM PM memtable arena bytes
     engine_kwargs       extra engine-constructor kwargs
+    ack_policy          cluster mode (``serve(..., cluster=ctx)``):
+                        ``"sync"`` defers the client ack until the
+                        backup applied the forwarded put,
+                        ``"primary-only"`` acks after the local apply;
+                        ``None`` = standalone server
     ==================  ======================================================
     """
 
@@ -84,6 +89,7 @@ class ServerConfig:
     trace_capacity: int = 1024
     memtable_arena: int = 48 << 20
     engine_kwargs: dict = field(default_factory=dict)
+    ack_policy: str = None
 
     def validate(self):
         if self.transport not in TRANSPORTS:
@@ -101,6 +107,17 @@ class ServerConfig:
             )
         if self.reaper_idle_ns is not None and self.reaper_idle_ns <= 0:
             raise ValueError("reaper_idle_ns must be positive (or None)")
+        if self.ack_policy is not None:
+            if self.ack_policy not in ("sync", "primary-only"):
+                raise ValueError(
+                    f"ack_policy {self.ack_policy!r} not in "
+                    f"('sync', 'primary-only') (or None for standalone)"
+                )
+            if self.transport != "homa":
+                raise ValueError(
+                    "cluster mode (ack_policy) replicates over Homa; "
+                    "transport must be 'homa'"
+                )
         return self
 
     def with_overrides(self, **kwargs):
@@ -175,7 +192,7 @@ def build_engine(name, host, pm_ns=None, memtable_arena=48 << 20,
 
 
 def serve(host, config=None, pm_ns=None, engine=None, recorder=None,
-          **overrides):
+          cluster=None, **overrides):
     """Stand up a KV server on ``host`` as described by ``config``.
 
     - ``engine`` injects a pre-built engine instance (``config.engine``
@@ -183,6 +200,10 @@ def serve(host, config=None, pm_ns=None, engine=None, recorder=None,
     - ``recorder`` reuses an existing :class:`~repro.obs.trace.Recorder`
       (the testbed's, so client and fabric share the registry) instead
       of creating one; it implies metrics even if the config says off.
+    - ``cluster`` (a :class:`~repro.cluster.topology.ClusterContext`)
+      selects the cluster-mode front-end: the server becomes one shard
+      of a replicated cluster, forwarding primary-owned puts to its
+      backup per ``config.ack_policy``.  Requires ``transport="homa"``.
     - keyword ``overrides`` tweak a shared config ad hoc:
       ``serve(host, config, port=8080)``.
 
@@ -191,7 +212,11 @@ def serve(host, config=None, pm_ns=None, engine=None, recorder=None,
     config = (config or ServerConfig())
     if overrides:
         config = config.with_overrides(**overrides)
+    if cluster is not None and config.ack_policy is None:
+        config = config.with_overrides(ack_policy=cluster.ack_policy)
     config.validate()
+    if cluster is not None and config.transport != "homa":
+        raise ValueError("cluster mode requires transport='homa'")
     if len(host.cpus) != config.cores:
         raise ValueError(
             f"config says {config.cores} core(s) but host "
@@ -211,8 +236,16 @@ def serve(host, config=None, pm_ns=None, engine=None, recorder=None,
         overload.sim = host.sim
 
     if config.transport == "homa":
-        kv = HomaKVServer(host, engine, port=config.port, overload=overload,
-                          contain_errors=config.contain_errors)
+        if cluster is not None:
+            from repro.cluster.topology import ClusterKVServer
+
+            kv = ClusterKVServer(host, engine, port=config.port,
+                                 overload=overload,
+                                 contain_errors=config.contain_errors,
+                                 cluster_ctx=cluster)
+        else:
+            kv = HomaKVServer(host, engine, port=config.port, overload=overload,
+                              contain_errors=config.contain_errors)
     else:
         kv = KVServer(host, engine, port=config.port,
                       zero_copy_get=config.zero_copy_get, overload=overload,

@@ -45,6 +45,7 @@ class ChaosReport:
         self.violations = []
         self.responses = {200: 0, 503: 0, 507: 0, 400: 0, 404: 0}
         self.resets = 0
+        self.stall_aborts = 0
         self.timeouts = 0
         self.crashed = None
         self.acked_puts = 0
@@ -193,6 +194,7 @@ class _StallConn:
 
     def _abort(self):
         if self.sock.state.value != "CLOSED":
+            self.world.report.stall_aborts += 1
             self.world.client.process_on_core(
                 self.sock.core, lambda ctx: self.sock.abort(ctx)
             )
@@ -493,6 +495,46 @@ class OverloadStorm:
                 f"their stage costs are double-counted in Table 1",
             )
 
+    def _check_vacuity(self):
+        """A storm that stressed nothing proves nothing — fail loudly.
+
+        A quiet pass is worse than a failure: the oracles all "hold"
+        while the code under test never ran.  Three ways a storm can go
+        vacuous, each a configuration bug, not a server bug: the burst
+        issued zero requests, the fault squall was requested but never
+        touched a frame, or the stall clients were requested but none
+        ever reset.  (Retransmit vacuity stays advisory — see
+        :meth:`_check_span_links` — because whether the squall forces a
+        retransmit is legitimately seed-dependent; whether it drops any
+        frame at all, across a multi-thousand-frame storm, is not.)
+        """
+        report = self.report
+        if report.attempted_puts == 0:
+            report.violation(
+                "vacuous:no-requests",
+                "the storm phase issued zero PUTs — nothing was tested",
+            )
+        if self.storm_faults and self._faults is not None:
+            faults = self._faults
+            observed = (faults.dropped + faults.duplicated +
+                        faults.corrupted + faults.reordered)
+            if observed == 0:
+                report.violation(
+                    "vacuous:no-faults",
+                    "a fault squall was requested but zero frames were "
+                    "dropped/duplicated/corrupted/reordered — the storm "
+                    "finished before the squall window or traffic never "
+                    "crossed the fabric",
+                )
+        expected_stalls = 0 if self.transport == "homa" else self.stalls
+        if expected_stalls and report.stall_aborts == 0:
+            report.violation(
+                "vacuous:no-stalls",
+                f"{expected_stalls} stall client(s) requested but none "
+                f"ever aborted mid-request — the slow-client phase "
+                f"never ran",
+            )
+
     # -- phases ---------------------------------------------------------------
 
     def _launch(self):
@@ -535,11 +577,18 @@ class OverloadStorm:
                     co, s.start
                 ),
             )
+        self._faults = None
         if self.storm_faults:
             # A loss+duplication squall mid-burst; clears before drain.
-            faults = LinkFaults(random.Random(self.seed), loss=0.02,
-                                duplicate=0.02)
-            self.sim.schedule(5 * MILLIS, self._set_faults, faults)
+            # Keep the handle: the vacuity oracle reads its counters.
+            # Opens at 0.5 ms — fast multi-core configs drain their PUT
+            # burst within a few ms, and a squall that opens after the
+            # last data frame is vacuous (the guard that now fails such
+            # a run is what caught the old 5 ms open being exactly that
+            # for the CI smoke sizings).
+            self._faults = LinkFaults(random.Random(self.seed), loss=0.02,
+                                      duplicate=0.02)
+            self.sim.schedule(MILLIS / 2, self._set_faults, self._faults)
             self.sim.schedule(60 * MILLIS, self._set_faults, None)
 
     def _set_faults(self, faults):
@@ -605,6 +654,7 @@ class OverloadStorm:
             self.report.violation(
                 "liveness:no-progress", "not a single PUT was acked"
             )
+        self._check_vacuity()
         if self.contain and self.report.responses.get(503, 0) == 0 and \
                 self.report.responses.get(507, 0) == 0:
             self.report.violation(
@@ -647,6 +697,16 @@ def build_parser():
                     "slow-client stalls, with liveness/durability/leak "
                     "oracles.",
     )
+    parser.add_argument("--cluster", action="store_true",
+                        help="run the whole-host-kill cluster storm "
+                             "instead of the single-server overload storm "
+                             "(see repro.testing.chaos_cluster)")
+    parser.add_argument("--hosts", type=int, default=3,
+                        help="cluster mode: server hosts (default: 3)")
+    parser.add_argument("--ack-policy", choices=("sync", "primary-only"),
+                        default="sync",
+                        help="cluster mode: when the client's 200 is sent "
+                             "relative to the backup's ack (default: sync)")
     parser.add_argument("--transport", choices=("tcp", "homa"),
                         default="tcp",
                         help="serve over HTTP/TCP or the Homa-like "
@@ -690,11 +750,55 @@ def build_parser():
     return parser
 
 
+def _main_cluster(args):
+    """``repro-chaoscheck --cluster``: the whole-host-kill storm.
+
+    The overload-storm knobs map onto the cluster storm: connections
+    become client loops, puts-per-conn the per-burst put count (the
+    storm runs two bursts, the kill lands inside the second).
+    """
+    from repro.testing.chaos_cluster import run_host_kill_storm
+
+    print(f"[cluster-chaos] storm: {args.hosts} hosts x{args.cores}core, "
+          f"ack_policy={args.ack_policy}, {args.connections} loops x "
+          f"2x{args.puts_per_conn} PUTs ({args.value_size} B), "
+          f"pool {args.pool_slots} slots, seed {args.seed}")
+    report = run_host_kill_storm(
+        hosts=args.hosts,
+        cores=args.cores,
+        ack_policy=args.ack_policy,
+        loops=args.connections,
+        puts_per_loop=args.puts_per_conn,
+        keys_per_loop=args.keys_per_conn,
+        value_size=args.value_size,
+        pool_slots=args.pool_slots,
+        seed=args.seed,
+        max_events=args.max_events,
+    )
+    print(report.summary())
+    if args.expect_violations:
+        if report.ok:
+            print("[cluster-chaos] FAIL: expected violations, storm was "
+                  "clean")
+            return 1
+        print(f"[cluster-chaos] OK: gap detected "
+              f"({len(report.violations)} violations, as expected)")
+        return 0
+    if not report.ok:
+        print("[cluster-chaos] FAIL: failover contract violated")
+        return 1
+    print("[cluster-chaos] OK: acked puts survived the host kill, "
+          "refcounts exact, traces stitched")
+    return 0
+
+
 def main(argv=None):
     import sys
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.cluster:
+        return _main_cluster(args)
     contain = not args.no_containment
     print(f"[chaos] storm: {args.transport} x{args.cores}core, "
           f"{args.connections} conns x "

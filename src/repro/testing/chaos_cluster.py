@@ -1,0 +1,593 @@
+"""Whole-host-kill chaos: does a client ack survive the host that gave it?
+
+:mod:`repro.testing.chaos` storms one server until its pools give out;
+this module storms a *cluster* until a host dies.  A closed-loop fleet
+of Homa requesters PUTs through the consistent-hash router while the
+storm pulls the plug on a primary mid-burst.  Failure detection is the
+router's: unanswered RPCs accumulate per node and at the threshold the
+router triggers the failover (ring eviction = backup promotion +
+transport teardown), with a scheduled failsafe bounding detection in
+case the squall of traffic misses the corpse.  Then the oracles:
+
+- **durability** — every client-acked PUT is readable from the key's
+  *current* primary after the kill and failover.  Under
+  ``ack_policy="sync"`` an ack means two hosts applied the put, so the
+  promoted backup must serve it — this is the claim the replication
+  design exists to earn;
+- **refcount exactness** — on every surviving host, the rx pool's
+  in-use count equals the store's owned count and each adopted
+  buffer's refcount equals the references the store holds (the same
+  per-slot walk as the single-host storm, per survivor);
+- **span stitching** — a replicated put is *one* trace: the origin
+  RPC's chain and the replication RPC's chain are stitched
+  (``Recorder.stitched``), no retransmitted message is left an orphan
+  (terminal give-up spans cover messages aimed at the corpse), and no
+  logical request ran a handler twice;
+- **vacuity** — a storm that never killed anyone, never failed over,
+  never acked a put on both sides of the kill, or never acked a put on
+  a shard the victim owned has tested nothing, and fails loudly.
+"""
+
+from repro.cluster.topology import ClusterConfig, build_cluster
+from repro.net.http import HttpParser, build_request
+from repro.sim.units import MILLIS
+
+#: Per-attempt client watchdog.  Far below Homa's 50 ms give-up: the
+#: router's failure detection is driven by these expiries, and two of
+#: them must fire before the failover (fail_threshold=2).
+WATCHDOG_NS = 10 * MILLIS
+
+#: Attempts per logical put before the loop abandons it (counted).
+MAX_ATTEMPTS = 8
+
+
+class ClusterChaosReport:
+    """Outcome of one host-kill storm."""
+
+    def __init__(self):
+        self.violations = []
+        self.responses = {200: 0, 503: 0, 507: 0, 400: 0, 404: 0}
+        self.attempted_puts = 0
+        self.acked_puts = 0
+        self.acked_by_phase = {"pre": 0, "kill": 0, "post": 0}
+        self.retries = 0
+        self.timeouts = 0
+        self.give_ups = 0
+        self.abandoned_puts = 0
+        self.crashed = None
+        self.victim = None
+        self.kills = 0
+        self.failovers = 0
+        self.failover_by = None       # "router" or "failsafe"
+        self.stitched_families = 0
+        self.degraded_acks = 0
+        self.probe_ok = False
+        self.repl_stats = {}
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def violation(self, kind, detail):
+        self.violations.append((kind, detail))
+
+    def summary(self):
+        lines = [
+            f"[cluster-chaos] puts acked {self.acked_puts}/"
+            f"{self.attempted_puts} "
+            f"(pre-kill {self.acked_by_phase['pre']}, "
+            f"kill-window {self.acked_by_phase['kill']}, "
+            f"post-failover {self.acked_by_phase['post']}), "
+            f"retries {self.retries}, timeouts {self.timeouts}, "
+            f"give-ups {self.give_ups}",
+            f"[cluster-chaos] victim {self.victim}: kills {self.kills}, "
+            f"failover by {self.failover_by or 'NOBODY'}, "
+            f"degraded acks {self.degraded_acks}",
+            f"[cluster-chaos] span stitching: {self.stitched_families} "
+            f"replicated put(s) traced across hosts",
+        ]
+        if self.repl_stats:
+            lines.append("[cluster-chaos] replication: " + ", ".join(
+                f"{k} {v}" for k, v in sorted(self.repl_stats.items())
+                if not k.startswith("lag")))
+        if self.crashed is not None:
+            lines.append(f"[cluster-chaos] CRASH: {self.crashed!r}")
+        if self.violations:
+            lines.append(
+                f"[cluster-chaos] {len(self.violations)} violation(s):")
+            for kind, detail in self.violations[:10]:
+                lines.append(f"[cluster-chaos]   {kind}: {detail}")
+            if len(self.violations) > 10:
+                lines.append(
+                    f"[cluster-chaos]   ... {len(self.violations) - 10} more")
+        else:
+            lines.append("[cluster-chaos] contract held: every acked put "
+                         "survived the host that acked it")
+        return "\n".join(lines)
+
+
+class _ShardLoop:
+    """One closed-loop requester, routed by the live ring each attempt.
+
+    A put retries (same key, same value) after a watchdog expiry or a
+    transport give-up, re-routing each time — after the failover the
+    same key lands on the promoted backup.  Ack bookkeeping mirrors the
+    single-host storm: the durability oracle accepts the newest acked
+    value or any value issued after it.
+    """
+
+    def __init__(self, world, loop_id, keys, puts, value_size):
+        self.world = world
+        self.loop_id = loop_id
+        self.keys = keys
+        self.puts = puts
+        self.value_size = value_size
+        self.sent = 0
+        self.done = False
+        self.core = None
+        self.awaiting = None          # (seq, attempt) of the live RPC
+        self.attempt = 0
+        self.in_flight = None         # (key, value) awaiting its reply
+        self.last_acked = {}          # key -> newest acked value
+        self.acked_rpcs = {}          # key -> rpc_id of the acking attempt
+        self.acked_phase = {}         # key -> storm phase at ack time
+        self.issued_after_ack = {}    # key -> [values issued after last ack]
+        self.target = None            # node name of the current attempt
+
+    def _value(self, key, index):
+        stamp = f"l{self.loop_id}:{key.decode()}:{index}:".encode()
+        filler = bytes((self.loop_id * 31 + index * 7 + i) % 256
+                       for i in range(max(0, self.value_size - len(stamp))))
+        return stamp + filler
+
+    def start(self, ctx):
+        cpus = self.world.client.cpus
+        self.core = cpus[self.loop_id % len(cpus)]
+        self._next(ctx)
+
+    def resume(self, extra_puts, ctx):
+        """Second burst: the same loop issues ``extra_puts`` more."""
+        self.puts += extra_puts
+        if self.done:
+            self.done = False
+            self._next(ctx)
+
+    def _next(self, ctx):
+        if self.sent >= self.puts:
+            self.done = True
+            return
+        key = self.keys[self.sent % len(self.keys)]
+        value = self._value(key, self.sent)
+        self.in_flight = (key, value)
+        self.issued_after_ack.setdefault(key, []).append(value)
+        self.sent += 1
+        self.attempt = 0
+        self.world.report.attempted_puts += 1
+        self._fire(key, value, ctx)
+
+    def _fire(self, key, value, ctx):
+        seq = self.sent - 1
+        token = (seq, self.attempt)
+        self.awaiting = token
+        self.target = self.world.router.primary(key)
+        ip = self.world.router.ip_of(self.target)
+        rpc_id = self.world.client.homa.send_request(
+            ip, self.world.port,
+            build_request("PUT", "/" + key.decode(), value), ctx,
+            on_reply=lambda segments, c, t=token: self._on_reply(
+                t, segments, c),
+            on_giveup=lambda _rpc, t=token: self._on_giveup(t),
+        )
+        self._rpc_id = rpc_id
+        self.world.sim.schedule(WATCHDOG_NS, self._watchdog, token)
+
+    def _retry(self, ctx):
+        key, value = self.in_flight
+        if self.attempt + 1 >= MAX_ATTEMPTS:
+            self.world.report.abandoned_puts += 1
+            self.in_flight = None
+            self._next(ctx)
+            return
+        self.attempt += 1
+        self.world.report.retries += 1
+        self._fire(key, value, ctx)
+
+    def _on_reply(self, token, segments, ctx):
+        if self.awaiting != token:
+            return  # superseded attempt; a retry already took over
+        self.awaiting = None
+        self.world.router.report_success(self.target)
+        parser = HttpParser(is_response=True)
+        status = None
+        for segment in segments:
+            for message in parser.feed(segment):
+                status = message.status
+                message.release()
+        parser.reset()
+        if status is not None:
+            self.world.report.responses[status] = \
+                self.world.report.responses.get(status, 0) + 1
+            if self.in_flight is not None and status == 200:
+                key, value = self.in_flight
+                self.last_acked[key] = value
+                self.acked_rpcs[key] = self._rpc_id
+                self.acked_phase[key] = self.world.phase
+                self.issued_after_ack[key] = []
+                self.world.report.acked_puts += 1
+                self.world.report.acked_by_phase[self.world.phase] += 1
+        self.in_flight = None
+        if not self.done:
+            self._next(ctx)
+
+    def _on_giveup(self, token):
+        """The transport declared the peer dead (abort_peer/failover):
+        skip the rest of the watchdog wait and retry immediately."""
+        if self.awaiting != token:
+            return
+        self.awaiting = None
+        self.world.report.give_ups += 1
+        self.world.report_failure(self.target)
+        self.world.client.process_on_core(self.core, self._retry)
+
+    def _watchdog(self, token):
+        if self.awaiting != token:
+            return
+        self.awaiting = None
+        self.world.report.timeouts += 1
+        self.world.report_failure(self.target)
+        self.world.client.process_on_core(self.core, self._retry)
+
+
+class HostKillStorm:
+    """Build the cluster, storm it, kill a primary, check the contract."""
+
+    def __init__(self, hosts=3, loops=8, puts_per_loop=5, keys_per_loop=2,
+                 value_size=1024, ack_policy="sync", seed=1, cores=1,
+                 pool_slots=512, kill_delay_ns=200_000.0,
+                 failsafe_ns=45 * MILLIS, max_events=20_000_000,
+                 config=None):
+        if config is None:
+            config = ClusterConfig(hosts=hosts, cores=cores,
+                                   ack_policy=ack_policy,
+                                   pool_slots=pool_slots)
+        if not config.metrics:
+            raise ValueError(
+                "HostKillStorm needs config.metrics=True: the oracles "
+                "read the shared recorder's gauges and span chains")
+        self.config = config
+        self.loops = loops
+        self.puts_per_loop = puts_per_loop
+        self.keys_per_loop = keys_per_loop
+        self.value_size = value_size
+        self.seed = seed
+        self.kill_delay_ns = kill_delay_ns
+        self.failsafe_ns = failsafe_ns
+        self.max_events = max_events
+
+        self.cluster = build_cluster(config)
+        self.sim = self.cluster.sim
+        self.client = self.cluster.client
+        self.router = self.cluster.router
+        self.recorder = self.cluster.recorder
+        self.metrics = self.cluster.metrics
+        self.port = config.port
+        self.report = ClusterChaosReport()
+        self.phase = "pre"
+        self.victim = None
+        self._conns = []
+
+    # -- phase / failure plumbing ---------------------------------------------
+
+    def report_failure(self, name):
+        """Loop-observed failure; a router-triggered failover flips the
+        storm into its post-failover phase."""
+        if self.router.report_failure(name):
+            self.phase = "post"
+            if self.report.failover_by is None:
+                self.report.failover_by = "router"
+
+    def _kill_victim(self):
+        self.cluster.kill(self.victim)
+        self.phase = "kill"
+
+    def _failsafe(self):
+        """Detection bound: if the router hasn't evicted the victim by
+        now (e.g. the burst drained before two watchdogs expired), the
+        control plane's timer does."""
+        if self.victim in self.cluster.ring.alive:
+            self.cluster.failover(self.victim)
+            self.phase = "post"
+            if self.report.failover_by is None:
+                self.report.failover_by = "failsafe"
+
+    # -- phases ---------------------------------------------------------------
+
+    def _launch(self):
+        key_counter = 0
+        for loop_id in range(self.loops):
+            keys = [f"ck{key_counter + i}".encode()
+                    for i in range(self.keys_per_loop)]
+            key_counter += self.keys_per_loop
+            loop = _ShardLoop(self, loop_id, keys, self.puts_per_loop,
+                              self.value_size)
+            self._conns.append(loop)
+            core = self.client.cpus[loop_id % len(self.client.cpus)]
+            self.sim.schedule(
+                loop_id * 2_000.0,
+                lambda c=loop, co=core: self.client.process_on_core(
+                    co, c.start),
+            )
+
+    def _pick_victim(self):
+        """The primary owning the most loop keys: guaranteed to hold
+        acked data, so its death puts the durability claim on trial."""
+        owned = {}
+        for loop in self._conns:
+            for key in loop.keys:
+                owned[self.router.primary(key)] = \
+                    owned.get(self.router.primary(key), 0) + 1
+        self.victim = max(sorted(owned), key=lambda n: owned[n])
+        self.report.victim = self.victim
+        self._victim_keys = [
+            key for loop in self._conns for key in loop.keys
+            if self.router.primary(key) == self.victim
+        ]
+
+    def _second_burst(self):
+        """The post-kill burst: every loop issues the same count again,
+        retrying through detection and failover."""
+        for loop in self._conns:
+            core = self.client.cpus[loop.loop_id % len(self.client.cpus)]
+            self.sim.schedule(
+                loop.loop_id * 2_000.0,
+                lambda c=loop, co=core: self.client.process_on_core(
+                    co, lambda ctx: c.resume(self.puts_per_loop, ctx)),
+            )
+        self.sim.schedule(self.kill_delay_ns, self._kill_victim)
+        self.sim.schedule(self.failsafe_ns, self._failsafe)
+
+    def _probe(self):
+        """End-to-end read-your-acked-writes: GET a victim-owned key
+        over the network from whatever the ring now routes to."""
+        probed = None
+        for loop in self._conns:
+            for key in self._victim_keys:
+                if key in loop.last_acked:
+                    probed = (key, loop)
+                    break
+            if probed:
+                break
+        if probed is None:
+            return  # the vacuity oracle flags this separately
+        key, loop = probed
+        allowed = [loop.last_acked[key]] + loop.issued_after_ack.get(key, [])
+        result = {"status": None, "body": None}
+        parser = HttpParser(is_response=True)
+        ip = self.router.ip_of(self.router.primary(key))
+
+        def on_reply(segments, c):
+            for segment in segments:
+                for message in parser.feed(segment):
+                    result["status"] = message.status
+                    result["body"] = message.body
+                    message.release()
+
+        self.client.process_on_core(
+            self.client.cpus[0],
+            lambda ctx: self.client.homa.send_request(
+                ip, self.port, build_request("GET", "/" + key.decode()),
+                ctx, on_reply=on_reply),
+        )
+        self.sim.run_until_idle(max_events=self.max_events)
+        self.report.probe_ok = (result["status"] == 200
+                                and result["body"] in allowed)
+        if not self.report.probe_ok:
+            self.report.violation(
+                "durability:probe",
+                f"post-failover GET /{key.decode()} got "
+                f"{result['status']!r} — the promoted primary does not "
+                f"serve the acked put over the network",
+            )
+
+    # -- oracles --------------------------------------------------------------
+
+    def _check_oracles(self):
+        report = self.report
+        metrics = self.metrics
+        self.sim.run(until=self.sim.now + MILLIS)
+
+        # Liveness: no survivor core may be sitting on queued work.
+        for node in self.cluster.alive_nodes():
+            for index in range(len(node.host.cpus)):
+                queued = metrics.value(f"{node.name}.core{index}.queue_ns")
+                if queued > 0:
+                    report.violation(
+                        "liveness:core-queue",
+                        f"{node.name} core {index} still has "
+                        f"{queued:.0f} ns of queued work after the drain",
+                    )
+        stalled = sum(1 for c in self._conns
+                      if c.in_flight is not None and not c.done)
+        if stalled:
+            report.violation(
+                "liveness:stalled",
+                f"{stalled} loop(s) still awaiting a response at idle",
+            )
+
+        # Refcount exactness, per survivor: the rx pool and the store
+        # agree, and every adopted buffer's refcount equals the
+        # references the store holds on it.
+        for node in self.cluster.alive_nodes():
+            rx_in_use = metrics.value(f"{node.name}.rx_pool.in_use")
+            owned = metrics.value(f"{node.name}.engine.store.owned")
+            if rx_in_use != owned:
+                report.violation(
+                    "leak:server-rx",
+                    f"{node.name}: rx_pool.in_use = {rx_in_use:.0f} but "
+                    f"store.owned = {owned:.0f}",
+                )
+            store = getattr(node.engine, "store", None)
+            if store is None:
+                continue
+            held = {}
+            for refs in store._refs.values():
+                for buf in refs:
+                    held[buf.slot] = held.get(buf.slot, 0) + 1
+            for slot, buf in store._buffers.items():
+                expected = held.get(slot, 0)
+                if buf.refcount != expected:
+                    report.violation(
+                        "refcount:buffer",
+                        f"{node.name} slot {slot}: refcount "
+                        f"{buf.refcount}, store holds {expected}",
+                    )
+
+        self._check_span_stitching()
+        self._check_durability()
+        self._check_vacuity()
+
+    def _check_durability(self):
+        """Every acked put is readable from the key's current primary —
+        including every key the dead host used to own."""
+        for loop in self._conns:
+            for key, value in loop.last_acked.items():
+                stored = self.cluster.read_value(key)
+                allowed = [value] + loop.issued_after_ack.get(key, [])
+                if stored not in allowed:
+                    got = None if stored is None else bytes(stored[:48])
+                    owner = self.router.primary(key)
+                    report_kind = ("durability:failover"
+                                   if key in self._victim_keys
+                                   else "durability")
+                    self.report.violation(
+                        report_kind,
+                        f"key {key!r} (now on {owner}): stored {got!r} "
+                        f"is neither the acked value nor a later issued "
+                        f"one",
+                    )
+
+    def _check_span_stitching(self):
+        """One request, one trace — across hosts, kills and retries."""
+        report = self.report
+        recorder = self.recorder
+
+        # Orphans: any retransmitted direction must have ended in
+        # delivery or a terminal give-up (abort_peer covers messages
+        # aimed at — or half-received from — the corpse).
+        for rpc_id, chain in recorder.chains().items():
+            for direction in ("request", "reply"):
+                if chain[direction]["retransmits"] == 0:
+                    continue
+                if direction not in chain["delivered"] and \
+                        direction not in chain["gave_up"]:
+                    report.violation(
+                        "spanlink:orphan",
+                        f"rpc {rpc_id} {direction}: "
+                        f"{chain[direction]['retransmits']} retransmit(s) "
+                        f"but neither delivered nor given up",
+                    )
+
+        # Stitching: an acked put outside the detection window had a
+        # live backup, so its origin RPC must trace into at least one
+        # replication RPC.  (Kill-window acks may legitimately have
+        # degraded via the suspect fast-path without a forward.)
+        families = 0
+        for loop in self._conns:
+            for key, rpc_id in loop.acked_rpcs.items():
+                stitched = recorder.stitched(rpc_id)
+                if len(stitched) > 1:
+                    families += 1
+                elif loop.acked_phase.get(key) in ("pre", "post") and \
+                        len(self.cluster.ring.alive) >= 2:
+                    report.violation(
+                        "spanlink:unstitched",
+                        f"key {key!r}: acked rpc {rpc_id} "
+                        f"({loop.acked_phase.get(key)}-phase) has no "
+                        f"replication hop in its trace",
+                    )
+        report.stitched_families = families
+
+        double = self.metrics.value("server.rpc.double_dispatch")
+        if double:
+            report.violation(
+                "spanlink:double-dispatch",
+                f"{double:.0f} RPC(s) ran a handler more than once",
+            )
+
+    def _check_vacuity(self):
+        """A kill storm that killed nothing, detected nothing or acked
+        nothing on either side of the cut proves nothing."""
+        report = self.report
+        report.kills = self.cluster.stats["kills"]
+        report.failovers = self.cluster.stats["failovers"]
+        if report.attempted_puts == 0:
+            report.violation("vacuous:no-requests",
+                             "the storm issued zero PUTs")
+        if report.kills == 0:
+            report.violation("vacuous:no-kill",
+                             "no host was ever killed — nothing failed")
+        if report.failovers == 0:
+            report.violation(
+                "vacuous:no-failover",
+                "the victim was never evicted — neither the router's "
+                "failure detection nor the failsafe fired",
+            )
+        if report.acked_by_phase["pre"] == 0:
+            report.violation(
+                "vacuous:no-pre-kill-acks",
+                "zero puts were acked before the kill — the victim "
+                "died holding nothing worth checking",
+            )
+        if report.acked_by_phase["post"] == 0:
+            report.violation(
+                "vacuous:no-post-failover-acks",
+                "zero puts were acked after the failover — promotion "
+                "was never exercised by live traffic",
+            )
+        victim_acked = sum(
+            1 for loop in self._conns for key in loop.last_acked
+            if key in self._victim_keys)
+        if victim_acked == 0:
+            report.violation(
+                "vacuous:victim-untouched",
+                f"no acked put landed on a shard {self.victim} owned — "
+                f"the kill endangered nothing",
+            )
+
+    # -- run ------------------------------------------------------------------
+
+    def run(self):
+        self._launch()
+        try:
+            self.sim.run_until_idle(max_events=self.max_events)
+            self._pick_victim()
+            self._second_burst()
+            self.sim.run_until_idle(max_events=self.max_events)
+            self._probe()
+        except Exception as exc:  # noqa: BLE001 — a crash IS the finding
+            self.report.crashed = exc
+            self.report.violation("crash", f"{type(exc).__name__}: {exc}")
+            self._finalize()
+            return self.report
+        self._check_oracles()
+        self._finalize()
+        return self.report
+
+    def _finalize(self):
+        totals = {}
+        for node in self.cluster.nodes.values():
+            for key, value in node.replicator.stats.items():
+                if key.startswith("lag"):
+                    continue
+                totals[key] = totals.get(key, 0) + value
+            totals["applied"] = (totals.get("applied", 0)
+                                 + node.applier.stats["applied"])
+            totals["dup_suppressed"] = (totals.get("dup_suppressed", 0)
+                                        + node.applier.stats["dup_suppressed"])
+        self.report.repl_stats = totals
+        self.report.degraded_acks = totals.get("degraded_acks", 0)
+
+
+def run_host_kill_storm(**kwargs):
+    """Convenience: build and run one kill storm; returns the report."""
+    return HostKillStorm(**kwargs).run()

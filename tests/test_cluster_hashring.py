@@ -1,0 +1,105 @@
+"""Consistent-hash ring: determinism, promotion-by-death, stability.
+
+The failover design leans entirely on one ring property: the backup
+for a key is the next distinct alive node clockwise from its primary,
+so removing the primary from the alive set *is* the promotion.  These
+tests pin that property, plus the determinism the simulation's DET-01
+rule demands.
+"""
+
+import pytest
+
+from repro.cluster.hashring import HashRing
+
+NODES = ["s0", "s1", "s2", "s3"]
+KEYS = [f"key-{i}".encode() for i in range(300)]
+
+
+def test_placement_is_deterministic_across_instances():
+    a = HashRing(NODES, vnodes=32)
+    b = HashRing(NODES, vnodes=32)
+    for key in KEYS:
+        assert a.route(key) == b.route(key)
+
+
+def test_route_returns_distinct_alive_nodes():
+    ring = HashRing(NODES, vnodes=32, replicas=3)
+    for key in KEYS:
+        route = ring.route(key)
+        assert len(route) == 3
+        assert len(set(route)) == 3
+        assert all(n in NODES for n in route)
+
+
+def test_primary_and_backup_agree_with_route():
+    ring = HashRing(NODES, vnodes=32)
+    for key in KEYS[:50]:
+        route = ring.route(key)
+        assert ring.primary(key) == route[0]
+        assert ring.backup(key) == route[1]
+
+
+def test_death_promotes_the_backup_and_moves_nothing_else():
+    """The load-bearing property: killing a node's primary re-routes
+    exactly its keys, each to its old backup."""
+    ring = HashRing(NODES, vnodes=64)
+    before = {key: ring.route(key) for key in KEYS}
+    ring.mark_dead("s1")
+    for key, (old_primary, old_backup) in before.items():
+        new_primary = ring.primary(key)
+        if old_primary == "s1":
+            assert new_primary == old_backup
+        else:
+            assert new_primary == old_primary
+        assert "s1" not in ring.route(key)
+
+
+def test_resurrection_restores_original_placement():
+    ring = HashRing(NODES, vnodes=32)
+    before = {key: ring.route(key) for key in KEYS}
+    ring.mark_dead("s2")
+    ring.mark_alive("s2")
+    assert {key: ring.route(key) for key in KEYS} == before
+
+
+def test_every_node_owns_some_keys():
+    ring = HashRing(NODES, vnodes=64)
+    owners = {ring.primary(key) for key in KEYS}
+    assert owners == set(NODES)
+
+
+def test_single_alive_node_runs_unreplicated():
+    ring = HashRing(["s0", "s1"], vnodes=16)
+    ring.mark_dead("s1")
+    for key in KEYS[:20]:
+        assert ring.route(key) == ["s0"]
+        assert ring.backup(key) is None
+
+
+def test_killing_the_last_node_raises():
+    ring = HashRing(["s0", "s1"], vnodes=16)
+    ring.mark_dead("s0")
+    with pytest.raises(RuntimeError):
+        ring.mark_dead("s1")
+
+
+def test_unknown_node_raises():
+    ring = HashRing(NODES, vnodes=16)
+    with pytest.raises(KeyError):
+        ring.mark_dead("nope")
+    with pytest.raises(KeyError):
+        ring.mark_alive("nope")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HashRing([])
+    with pytest.raises(ValueError):
+        HashRing(NODES, vnodes=0)
+    with pytest.raises(ValueError):
+        HashRing(NODES, replicas=0)
+
+
+def test_str_and_bytes_keys_route_identically():
+    ring = HashRing(NODES)
+    assert ring.route("abc") == ring.route(b"abc")

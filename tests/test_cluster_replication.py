@@ -1,0 +1,298 @@
+"""Replication contract: bounded backoff, idempotent apply, clean PM.
+
+Three layers, matching the design's three promises:
+
+- the :class:`~repro.cluster.backoff.Backoff` schedule is a pure,
+  capped, bounded function of the attempt number (property-tested —
+  hypothesis explores the parameter space);
+- the live replicator honours that schedule against a dead backup and
+  never applies a put twice on the backup, however the retries and the
+  original attempt interleave (idempotency by origin RPC id);
+- the backup's apply path — forwarded packets adopted into PPktRecord
+  slots — is flush/fence-clean under a strict PMSan.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pmsan import PMSan
+from repro.cluster.backoff import Backoff
+from repro.cluster.replication import (
+    decode_repl_ack,
+    decode_repl_header,
+    encode_repl_ack,
+    encode_repl_message,
+)
+from repro.cluster.topology import ClusterConfig, build_cluster
+from repro.net.http import build_request
+from repro.sim.units import MILLIS
+
+VALID = dict(
+    base_ns=st.floats(min_value=1.0, max_value=1e7),
+    factor=st.floats(min_value=1.0, max_value=8.0),
+    cap_mult=st.floats(min_value=1.0, max_value=100.0),
+    max_retries=st.integers(min_value=0, max_value=12),
+)
+
+
+class TestBackoffProperties:
+    @given(**VALID)
+    @settings(max_examples=200, deadline=None)
+    def test_schedule_is_bounded_monotone_and_capped(
+            self, base_ns, factor, cap_mult, max_retries):
+        cap_ns = base_ns * cap_mult
+        backoff = Backoff(base_ns=base_ns, multiplier=factor,
+                          cap_ns=cap_ns, max_retries=max_retries)
+        schedule = backoff.schedule()
+        # Bounded: exactly max_retries delays, never one more.
+        assert len(schedule) == max_retries
+        # Capped and monotone non-decreasing.
+        previous = 0.0
+        for delay in schedule:
+            assert delay <= cap_ns
+            assert delay >= previous
+            previous = delay
+        # The first wait is the base (unless the cap is below it).
+        if max_retries:
+            assert schedule[0] == min(cap_ns, base_ns)
+        # exhausted() flips exactly at the limit.
+        assert not backoff.exhausted(max_retries - 1) or max_retries == 0
+        assert backoff.exhausted(max_retries)
+        assert backoff.exhausted(max_retries + 1)
+
+    @given(**VALID)
+    @settings(max_examples=100, deadline=None)
+    def test_delay_is_deterministic(self, base_ns, factor, cap_mult,
+                                    max_retries):
+        a = Backoff(base_ns, factor, base_ns * cap_mult, max_retries)
+        b = Backoff(base_ns, factor, base_ns * cap_mult, max_retries)
+        assert a.schedule() == b.schedule()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Backoff(base_ns=0)
+        with pytest.raises(ValueError):
+            Backoff(multiplier=0.5)
+        with pytest.raises(ValueError):
+            Backoff(base_ns=10.0, cap_ns=5.0)
+        with pytest.raises(ValueError):
+            Backoff(max_retries=-1)
+        with pytest.raises(ValueError):
+            Backoff().delay(-1)
+
+
+class TestWireFormat:
+    def test_message_roundtrip(self):
+        payload = encode_repl_message(42, 123.5, 0xABCD, b"PUT ...")
+        origin, tstamp, csum, flags = decode_repl_header(payload)
+        assert (origin, tstamp, csum, flags) == (42, 123.5, 0xABCD, 0)
+        assert payload.endswith(b"PUT ...")
+
+    def test_none_provenance_roundtrip(self):
+        payload = encode_repl_message(7, None, None, b"x")
+        origin, tstamp, csum, _ = decode_repl_header(payload)
+        assert (origin, tstamp, csum) == (7, None, None)
+
+    def test_ack_roundtrip(self):
+        assert decode_repl_ack(encode_repl_ack(9, 200)) == (9, 200)
+
+    def test_truncation_and_bad_magic_raise(self):
+        with pytest.raises(ValueError):
+            decode_repl_header(b"RPL1")
+        with pytest.raises(ValueError):
+            decode_repl_header(b"X" * 64)
+        with pytest.raises(ValueError):
+            decode_repl_ack(b"RPLA")
+
+
+def _drive_put(cluster, key, value):
+    """One PUT through the client's Homa transport to the key's
+    current primary; returns {"status": ..., "rpc_id": ...} after the
+    sim drains."""
+    from repro.net.http import HttpParser
+
+    result = {"status": None, "rpc_id": None}
+    ip = cluster.nodes[cluster.ring.primary(key)].ip
+    parser = HttpParser(is_response=True)
+
+    def on_reply(segments, ctx):
+        for segment in segments:
+            for message in parser.feed(segment):
+                result["status"] = message.status
+                message.release()
+
+    def start(ctx):
+        result["rpc_id"] = cluster.client.homa.send_request(
+            ip, cluster.config.port,
+            build_request("PUT", "/" + key.decode(), value),
+            ctx, on_reply=on_reply)
+
+    cluster.client.process_on_core(cluster.client.cpus[0], start)
+    cluster.sim.run_until_idle(max_events=5_000_000)
+    return result
+
+
+class TestBoundedRetrySchedule:
+    """The live replicator against a dead backup: retries land on the
+    backoff schedule, stop at the limit, then the node degrades."""
+
+    BACKOFF = Backoff(base_ns=1 * MILLIS, multiplier=2.0,
+                      cap_ns=4 * MILLIS, max_retries=3)
+
+    def test_retries_follow_schedule_then_cap(self):
+        cluster = build_cluster(ClusterConfig(hosts=3, backoff=self.BACKOFF))
+        key = b"retry-key"
+        primary = cluster.ring.primary(key)
+        backup = cluster.ring.backup(key)
+        replicator = cluster.nodes[primary].replicator
+
+        # Record the sim time of every forward attempt.
+        sends = []
+        original = replicator._send
+
+        def recording_send(entry, ctx):
+            sends.append(cluster.sim.now)
+            original(entry, ctx)
+
+        replicator._send = recording_send
+        cluster.kill(backup)   # dead, but not failed over: retries burn
+        result = _drive_put(cluster, key, b"V" * 64)
+
+        # The client still got its 200 — degradation, not an error.
+        assert result["status"] == 200
+        stats = replicator.stats
+        assert stats["retries"] == self.BACKOFF.max_retries
+        assert stats["give_ups"] == 1
+        assert stats["degraded_acks"] == 1
+        assert replicator.pending == 0
+        assert cluster.nodes[backup].ip in replicator.suspect
+
+        # 1 original + max_retries forwards, spaced by the schedule.
+        assert len(sends) == 1 + self.BACKOFF.max_retries
+        gaps = [b - a for a, b in zip(sends, sends[1:])]
+        for gap, expected in zip(gaps, self.BACKOFF.schedule()):
+            # The retry fires on a core slice, so it lands at the
+            # scheduled delay plus sub-millisecond processing skew
+            # (and float scheduling rounds within a nanosecond).
+            assert expected - 1.0 <= gap <= expected + 0.5 * MILLIS
+
+        # The value is durable on the primary regardless.
+        assert cluster.read_value(key) == b"V" * 64
+
+    def test_suspect_backup_fast_fails_without_sending(self):
+        cluster = build_cluster(ClusterConfig(hosts=3, backoff=self.BACKOFF))
+        key = b"fast-fail"
+        primary = cluster.ring.primary(key)
+        backup = cluster.ring.backup(key)
+        replicator = cluster.nodes[primary].replicator
+        cluster.kill(backup)
+        _drive_put(cluster, key, b"a" * 32)          # burns the budget
+        sent_before = replicator.stats["sent"]
+        result = _drive_put(cluster, key, b"b" * 32)  # fast-fails
+        assert result["status"] == 200
+        assert replicator.stats["sent"] == sent_before
+        assert replicator.stats["suspect_fast_fails"] == 1
+
+
+class TestIdempotentApply:
+    """Never duplicate-apply on the backup, by origin RPC id."""
+
+    def test_overlapping_attempts_apply_once(self):
+        # A backoff far below the replication RTT (~25 µs): the first
+        # retry fires while the original attempt is still in flight,
+        # so the backup sees the same origin id twice.
+        eager = Backoff(base_ns=5_000.0, multiplier=2.0, cap_ns=20_000.0,
+                        max_retries=4)
+        cluster = build_cluster(ClusterConfig(hosts=2, backoff=eager))
+        key = b"overlap"
+        value = b"once" * 16
+        backup = cluster.ring.backup(key)
+        result = _drive_put(cluster, key, value)
+        assert result["status"] == 200
+        applier = cluster.nodes[backup].applier
+        assert applier.stats["applied"] == 1
+        assert applier.stats["dup_suppressed"] >= 1
+        assert applier.stats["apply_errors"] == 0
+        assert cluster.nodes[backup].engine.get(key) == value
+
+    def test_explicit_duplicate_forward_is_suppressed(self):
+        cluster = build_cluster(ClusterConfig(hosts=2))
+        key = b"dup"
+        value = b"exactly-once" * 8
+        primary = cluster.ring.primary(key)
+        backup = cluster.ring.backup(key)
+        node = cluster.nodes[primary]
+        raw = build_request("PUT", "/" + key.decode(), value)
+        acks = []
+
+        def forward(ctx):
+            node.replicator.replicate(
+                777, raw, None, None, cluster.nodes[backup].ip, ctx,
+                lambda ok, c: acks.append(ok))
+
+        node.host.process_on_core(node.host.cpus[0], forward)
+        cluster.sim.run_until_idle(max_events=1_000_000)
+        node.host.process_on_core(node.host.cpus[0], forward)
+        cluster.sim.run_until_idle(max_events=1_000_000)
+
+        applier = cluster.nodes[backup].applier
+        assert acks == [True, True]
+        assert applier.stats["applied"] == 1
+        assert applier.stats["dup_suppressed"] == 1
+        assert cluster.nodes[backup].engine.get(key) == value
+
+    def test_dedup_memory_is_bounded(self):
+        cluster = build_cluster(ClusterConfig(hosts=2))
+        key = b"bound"
+        applier = cluster.nodes[cluster.ring.backup(key)].applier
+        applier.applied_memory = 16
+        for origin in range(64):
+            applier._remember(origin, 200)
+        assert len(applier._applied) <= 16
+
+    def test_bad_frame_is_rejected_not_crashed(self):
+        cluster = build_cluster(ClusterConfig(hosts=2))
+        key = b"bad"
+        primary = cluster.ring.primary(key)
+        backup = cluster.ring.backup(key)
+        node = cluster.nodes[primary]
+        # Truncated HTTP inside a well-formed replication frame.
+        raw = build_request("PUT", "/" + key.decode(), b"x" * 100)[:40]
+        acks = []
+        node.host.process_on_core(
+            node.host.cpus[0],
+            lambda ctx: node.replicator.replicate(
+                888, raw, None, None, cluster.nodes[backup].ip, ctx,
+                lambda ok, c: acks.append(ok)))
+        cluster.sim.run_until_idle(max_events=1_000_000)
+        applier = cluster.nodes[backup].applier
+        assert applier.stats["bad_frames"] == 1
+        assert applier.stats["applied"] == 0
+        # The primary degraded rather than retrying a poison frame.
+        assert acks == [False]
+
+
+class TestApplyPathPMSan:
+    """Satellite: strict-sanitizer gate over PPktRecord slot lifecycles
+    on the replication apply path.  Forwarded puts, overwrites and
+    deletes adopt/supersede/free persistent packet records on the
+    backup; every record write must be persisted before it is linked
+    and every freed slot must come back flush-clean."""
+
+    def test_backup_apply_path_is_flush_fence_clean(self):
+        cluster = build_cluster(ClusterConfig(hosts=2))
+        key = b"sanitized"
+        backup = cluster.ring.backup(key)
+        with PMSan(strict=True) as san:
+            san.attach(cluster.nodes[backup].pm_device)
+            for round_ in range(6):
+                # Overwrites: earlier PPktRecord slots are superseded
+                # and freed while later ones are written and linked.
+                result = _drive_put(cluster, key,
+                                    bytes([round_]) * (64 + round_ * 32))
+                assert result["status"] == 200
+        applier = cluster.nodes[backup].applier
+        assert applier.stats["applied"] == 6
+        failures = [f.format() for f in san.report.failures]
+        assert not failures, "\n".join(failures)
