@@ -206,6 +206,9 @@ class Rule:
     title = "untitled rule"
     severity = "error"
     hint = None
+    #: Whole-program rules run once over the solved call graph
+    #: (:func:`lint_program`), not per module.
+    interprocedural = False
     #: Planted snippets for the negative self-test.  BAD must trip the
     #: rule; GOOD must not.  BAD_PATH positions the virtual module for
     #: rules that are path-scoped.
@@ -228,24 +231,54 @@ class Rule:
         return out
 
 
+#: Intraprocedural rules superseded by a whole-program rule.  When the
+#: interprocedural pass runs (the default), these stay off unless the
+#: user --selects them explicitly: their blanket exemptions (forwarder
+#: names, fence= deferral, "every alloc needs a try") are exactly what
+#: PM-I01/REF-I01 replace with call-chain reasoning.
+SUPERSEDED_BY_INTERPROC = frozenset({"PM-W01", "REF-01"})
+
+
 def iter_rules(select=None):
     import repro.analysis.rules  # noqa: F401 — populate the registry
+    import repro.analysis.rules_interproc  # noqa: F401
 
     for rule_id in sorted(RULES):
         if select is None or rule_id in select:
             yield RULES[rule_id]()
 
 
-def lint_module(module, select=None):
+def lint_module(module, select=None, interprocedural=False):
     """All findings (active + suppressed) for one parsed module.
 
     Suppression-syntax findings (SUP-01) are emitted by the SUP-01 rule
     itself, so selecting rules also selects whether they are reported.
+    Interprocedural rules never run here (they need the whole program);
+    with ``interprocedural`` set, the rules they supersede are skipped
+    too unless explicitly selected.
     """
     found = []
     for rule in iter_rules(select):
+        if rule.interprocedural:
+            continue
+        if (interprocedural and select is None
+                and rule.id in SUPERSEDED_BY_INTERPROC):
+            continue
         found.extend(rule.check(module))
     return found
+
+
+def lint_program(modules, select=None, cache_path=None):
+    """Run the whole-program rules once over all parsed modules."""
+    from repro.analysis.interproc import Program, SummaryCache
+
+    cache = SummaryCache(cache_path) if cache_path else None
+    program = Program(modules, cache=cache)
+    found = []
+    for rule in iter_rules(select):
+        if rule.interprocedural:
+            found.extend(rule.check_program(program))
+    return found, program
 
 
 def collect_files(paths):
@@ -263,13 +296,26 @@ def collect_files(paths):
     return sorted(set(files))
 
 
-def run_lint(paths, select=None, root=None):
-    """Lint files/directories; returns an :class:`AnalysisReport`."""
+def run_lint(paths, select=None, root=None, interprocedural=True,
+             cache_path=None):
+    """Lint files/directories; returns an :class:`AnalysisReport`.
+
+    ``interprocedural`` (the default) additionally builds the
+    whole-program call graph and runs PM-I01/REF-I01, superseding
+    PM-W01/REF-01; ``cache_path`` names the per-file summary cache.
+    """
     report = AnalysisReport(tool="pmlint")
+    modules = []
     for path in collect_files(paths):
         module = ModuleSource.load(path, root=root)
-        report.extend(lint_module(module, select))
+        modules.append(module)
+        report.extend(lint_module(module, select,
+                                  interprocedural=interprocedural))
         report.files_checked += 1
+    if interprocedural and modules:
+        found, _program = lint_program(modules, select,
+                                       cache_path=cache_path)
+        report.extend(found)
     return report
 
 

@@ -27,6 +27,19 @@ Violation classes
   while it still held references — nobody could ever release them.
   Handles whose backing device crashed after they were created are
   exempt (crash tests legitimately abandon pre-crash references).
+- ``PM-S06`` *slot-lifecycle violation*: a :class:`~repro.core.ppktbuf.
+  PMetaSlab` slot left the free→armed(alloc)→written(write_record)→
+  committed(linked/rooted)→reclaimed(free) protocol — a
+  ``write_record`` over a committed slot (in-place rewrite of a
+  reachable record: the double-commit bug), a link or root pointing at
+  an armed-but-never-written slot, a write into an unallocated slot.
+  Tracked per slot on every slab created while the sanitizer is live,
+  so *all* engine paths (put, unlink, gc, recovery truncation,
+  replication apply) are covered, not just dedicated gates.  Committed
+  slots may be re-linked freely (skip-list relinks at unlink) and
+  freed from any armed-or-later state (rollback and unlink both
+  reclaim); ``adopt_reachable`` resets the map to what recovery
+  proved reachable.
 
 Strict vs. suite mode
 ---------------------
@@ -113,6 +126,10 @@ class PMSan:
         self._leak_candidates = []
         self._patched = []
         self._alloc_files = ()
+        #: slab -> {slot: "armed" | "written" | "committed"}; absent
+        #: slot = free.  Only slabs created while enabled are tracked.
+        self._slabs = weakref.WeakKeyDictionary()
+        self._slab_patches = []
 
     # ------------------------------------------------------------ lifecycle
 
@@ -121,6 +138,7 @@ class PMSan:
             raise RuntimeError("PMSan already enabled")
         self._previous_factory = pm_device.set_observer_factory(self._attach)
         self._patch_refcounts()
+        self._patch_slabs()
         self._enabled = True
         return self
 
@@ -141,6 +159,8 @@ class PMSan:
             if device.observer is self:
                 device.observer = None
         self._unpatch_refcounts()
+        self._unpatch_slabs()
+        self._slabs = weakref.WeakKeyDictionary()
         self._live.clear()
         for kind, path, line, refcount, pool_ref in self._leak_candidates:
             # A dead handle is only a *leak* if its pool outlived it —
@@ -342,6 +362,157 @@ class PMSan:
                 cls.__del__ = original_del
         self._patched = []
 
+    # ------------------------------------------------ slot-lifecycle patching
+
+    _SLAB_METHODS = ("__init__", "alloc", "free", "write_record",
+                     "write_next", "write_root", "adopt_reachable")
+
+    def _patch_slabs(self):
+        """Arm PM-S06: wrap PMetaSlab so every slot transition is seen.
+
+        Only slabs backed by a device *this* sanitizer observes are
+        tracked: a pre-existing fixture's slots have unknown history,
+        and with nested sanitizers (a planted self-test inside the
+        --pmsan suite lane) the inner plant must not surface in the
+        outer report.  The checks are exact protocol state, not
+        cross-request heuristics, so they run in suite mode too.
+        """
+        from repro.core.ppktbuf import PMetaSlab
+
+        sanitizer = self
+        # Keyed lookup for nesting, same as _patch_refcounts: the inner
+        # sanitizer must restore the *outer* sanitizer's wrappers.
+        originals = {name: PMetaSlab.__dict__[name]
+                     for name in self._SLAB_METHODS}
+
+        def __init__(slab, *args, **kwargs):
+            originals["__init__"](slab, *args, **kwargs)
+            device = getattr(getattr(slab, "region", None), "device", None)
+            if device is not None and device in sanitizer._devices:
+                sanitizer._slabs[slab] = {}
+
+        def alloc(slab, *args, **kwargs):
+            slot = originals["alloc"](slab, *args, **kwargs)
+            states = sanitizer._slabs.get(slab)
+            if states is not None:
+                stale = states.get(slot)
+                if stale is not None:
+                    sanitizer._emit(
+                        "PM-S06",
+                        f"alloc returned slot {slot} still in state "
+                        f"'{stale}' — the free list handed out a live "
+                        f"record",
+                        _call_site(),
+                        hint="a slot must be freed (or proven "
+                             "unreachable by recovery) before it can "
+                             "be allocated again",
+                    )
+                states[slot] = "armed"
+            return slot
+
+        def free(slab, slot, *args, **kwargs):
+            originals["free"](slab, slot, *args, **kwargs)
+            states = sanitizer._slabs.get(slab)
+            if states is not None:
+                # Reclaim is legal from any armed-or-later state:
+                # rollback frees armed/written slots, unlink frees
+                # committed ones.
+                states.pop(slot, None)
+
+        def write_record(slab, slot, record, *args, **kwargs):
+            states = sanitizer._slabs.get(slab)
+            if states is not None:
+                prev = states.get(slot)
+                if prev == "committed":
+                    sanitizer._emit(
+                        "PM-S06",
+                        f"write_record over committed slot {slot} — "
+                        f"in-place rewrite of a reachable record "
+                        f"(double commit): a crash mid-write tears a "
+                        f"record readers can already reach",
+                        _call_site(),
+                        hint="allocate a fresh slot, write it, then "
+                             "swing the link (persist-before-link); "
+                             "never rewrite a reachable slot in place",
+                    )
+                elif prev is None:
+                    sanitizer._emit(
+                        "PM-S06",
+                        f"write_record into slot {slot} that was never "
+                        f"alloc()ed (or already freed)",
+                        _call_site(),
+                        hint="take the slot from alloc() so the free "
+                             "list and the written set agree",
+                    )
+            result = originals["write_record"](slab, slot, record,
+                                               *args, **kwargs)
+            if states is not None and states.get(slot) != "committed":
+                states[slot] = "written"
+            return result
+
+        def write_next(slab, slot, level, target, *args, **kwargs):
+            states = sanitizer._slabs.get(slab)
+            if states is not None and target:
+                sanitizer._check_link(states, target - 1, "write_next")
+            result = originals["write_next"](slab, slot, level, target,
+                                             *args, **kwargs)
+            if states is not None and target:
+                if states.get(target - 1) == "written":
+                    states[target - 1] = "committed"
+            return result
+
+        def write_root(slab, head_slot, *args, **kwargs):
+            states = sanitizer._slabs.get(slab)
+            if states is not None:
+                sanitizer._check_link(states, head_slot, "write_root")
+            result = originals["write_root"](slab, head_slot,
+                                             *args, **kwargs)
+            if states is not None and states.get(head_slot) == "written":
+                states[head_slot] = "committed"
+            return result
+
+        def adopt_reachable(slab, reachable, *args, **kwargs):
+            result = originals["adopt_reachable"](slab, reachable,
+                                                  *args, **kwargs)
+            states = sanitizer._slabs.get(slab)
+            if states is not None:
+                states.clear()
+                states.update((slot, "committed") for slot in reachable)
+            return result
+
+        wrappers = {
+            "__init__": __init__, "alloc": alloc, "free": free,
+            "write_record": write_record, "write_next": write_next,
+            "write_root": write_root, "adopt_reachable": adopt_reachable,
+        }
+        for name in self._SLAB_METHODS:
+            setattr(PMetaSlab, name, wrappers[name])
+        self._slab_patches.append((PMetaSlab, originals))
+
+    def _check_link(self, states, slot, op):
+        # Only the *armed* state is a provable violation: the slot was
+        # taken off the free list but its record was never written, so
+        # a crash recovers a reachable slot with garbage bytes.  An
+        # untracked target stays silent — codec-level tests (and
+        # recovery walking pre-existing layouts) link raw slot numbers
+        # the sanitizer never saw alloc()ed.
+        if states.get(slot) == "armed":
+            self._emit(
+                "PM-S06",
+                f"{op} links slot {slot} whose record was never "
+                f"written — a crash here recovers a reachable slot "
+                f"with garbage bytes",
+                _call_site(),
+                hint="write_record (and persist it) before making the "
+                     "slot reachable",
+            )
+
+    def _unpatch_slabs(self):
+        for cls, originals in self._slab_patches:
+            for name, func in originals.items():
+                setattr(cls, name, func)
+        self._slab_patches = []
+
     @staticmethod
     def _backing_device(obj):
         pool = getattr(obj, "pool", None)
@@ -467,6 +638,46 @@ def _selftest():
     if not ok_release.report.ok:
         failures.append(
             "released handle wrongly reported:\n" + ok_release.report.summary()
+        )
+
+    # 7. Planted double commit: a slot is rooted (reachable) and then
+    #    rewritten in place — a crash mid-rewrite tears a record readers
+    #    can already find.
+    from repro.core.ppktbuf import KIND_HEAD, PMetaSlab, PPktRecord
+
+    with PMSan() as double_commit:
+        device = PMDevice(64 * 1024, name="selftest-double-commit")
+        slab = PMetaSlab(device.region(0, 64 * 1024))
+        slot = slab.alloc()
+        slab.write_record(slot, PPktRecord(kind=KIND_HEAD, height=1))
+        slab.write_root(slot)                # slot is now reachable
+        slab.write_record(slot, PPktRecord(kind=KIND_HEAD, height=2))
+    rules = {f.rule for f in double_commit.report.findings}
+    if "PM-S06" not in rules:
+        failures.append(
+            f"planted double commit NOT detected (got {sorted(rules)})"
+        )
+
+    # 8. The legal lifecycle — alloc, write, link, retarget a committed
+    #    link, free — must stay clean.
+    with PMSan() as lifecycle:
+        device = PMDevice(64 * 1024, name="selftest-lifecycle")
+        slab = PMetaSlab(device.region(0, 64 * 1024))
+        head = slab.alloc()
+        slab.write_record(head, PPktRecord(kind=KIND_HEAD, height=1))
+        slab.write_root(head)
+        node = slab.alloc()
+        slab.write_record(node, PPktRecord(height=1, key=b"a"))
+        slab.write_next(head, 0, node + 1)   # persist-before-link
+        other = slab.alloc()
+        slab.write_record(other, PPktRecord(height=1, key=b"b"))
+        slab.write_next(node, 0, other + 1)
+        slab.write_next(head, 0, other + 1)  # unlink: retarget committed
+        slab.free(node)                      # reclaim the unlinked slot
+    if not lifecycle.report.ok:
+        failures.append(
+            "legal slot lifecycle wrongly reported:\n"
+            + lifecycle.report.summary()
         )
 
     return failures

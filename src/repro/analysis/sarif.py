@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 emitter for PMLint reports.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub
+code-scanning ingests: uploading the file annotates findings inline on
+the PR diff.  One run, one ``tool.driver`` carrying the rule
+catalogue, one ``result`` per finding.  Suppressed findings are
+included with an ``inSource`` suppression object carrying the reason —
+code-scanning then shows them as dismissed rather than dropping the
+record entirely.
+"""
+
+import json
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: PMLint severity -> SARIF level.
+_LEVELS = {"error": "error", "warn": "warning", "perf": "note"}
+
+
+def _rule_descriptor(rule):
+    out = {
+        "id": rule.id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.title},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+    if rule.hint:
+        out["help"] = {"text": rule.hint}
+    return out
+
+
+def _result(finding):
+    out = {
+        "ruleId": finding.rule,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+    }
+    if finding.path is not None:
+        location = {
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": str(finding.path).replace("\\", "/"),
+                },
+            },
+        }
+        if finding.line is not None:
+            location["physicalLocation"]["region"] = {
+                "startLine": finding.line,
+            }
+        out["locations"] = [location]
+    if finding.suppressed:
+        out["suppressions"] = [{
+            "kind": "inSource",
+            "justification": finding.reason or "",
+        }]
+    return out
+
+
+def to_sarif(report, rules):
+    """The report as a SARIF 2.1.0 document (a plain dict)."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": report.tool,
+                    "informationUri":
+                        "https://github.com/repro/repro/blob/main/docs/"
+                        "ANALYSIS.md",
+                    "rules": [_rule_descriptor(rule) for rule in rules],
+                },
+            },
+            "results": [
+                _result(finding)
+                for finding in report.findings + report.suppressed
+            ],
+        }],
+    }
+
+
+def dump_sarif(report, rules, stream):
+    json.dump(to_sarif(report, rules), stream, indent=2, sort_keys=True)
+    stream.write("\n")

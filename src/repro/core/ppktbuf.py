@@ -240,7 +240,6 @@ class PMetaSlab:
         # Invalidate the magic so a later reachability scan cannot be
         # confused by a stale-but-intact record.
         self.region.write(self.slot_base(slot), b"\x00\x00\x00\x00")
-        # pmlint: disable=PM-W01 — reachability is the commit point (the unlink fenced already); a stale magic only costs one discarded orphan at recovery
         self.region.flush(self.slot_base(slot), 4, ctx, "persist")
         self._used.remove(slot)
         self._free.append(slot)

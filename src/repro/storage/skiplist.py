@@ -211,7 +211,6 @@ class RegionSkipList:
         (which is what every stored ``next`` pointer holds; 0 stays the
         nil sentinel because real nodes always sit past the root area).
         """
-        # pmlint: disable=REF-01 — AllocationError is contained at the serving boundary (503/507); no refs or partial links exist at this point
         return self.allocator.alloc(size, ctx) + ROOT_SIZE
 
     def _free_node(self, node_off, ctx=NULL_CONTEXT):

@@ -15,6 +15,7 @@ import struct
 import pytest
 
 from repro.analysis.pmsan import PMSan, main as pmsan_main
+from repro.core.ppktbuf import KIND_HEAD, PMetaSlab, PPktRecord
 from repro.net.checksum import crc32c
 from repro.net.pktbuf import PktBuf
 from repro.net.pool import BufferPool
@@ -134,6 +135,95 @@ class TestViolationClasses:
     def test_self_test_entry_point(self, capsys):
         assert pmsan_main(["--self-test"]) == 0
         capsys.readouterr()
+
+
+class TestSlotLifecycle:
+    """PM-S06: PPktRecord slots must follow free → armed (alloc) →
+    written (write_record) → committed (linked/rooted) → reclaimed
+    (free).  Tracking is scoped to slabs whose backing device the
+    sanitizer observes, so codec-level fixtures stay out of scope."""
+
+    @staticmethod
+    def make_slab(name):
+        device = PMDevice(64 * 1024, name=name)
+        return PMetaSlab(device.region(0, 64 * 1024)), device
+
+    def test_double_commit_flagged(self):
+        with PMSan() as san:
+            slab, _device = self.make_slab("t-double-commit")
+            slot = slab.alloc()
+            slab.write_record(slot, PPktRecord(kind=KIND_HEAD, height=1))
+            slab.write_root(slot)
+            slab.write_record(slot, PPktRecord(kind=KIND_HEAD, height=2))
+        assert "PM-S06" in rules_of(san.report)
+        (finding,) = [f for f in san.report.findings
+                      if f.rule == "PM-S06"]
+        assert "double commit" in finding.message
+
+    def test_write_into_unallocated_slot_flagged(self):
+        with PMSan() as san:
+            slab, _device = self.make_slab("t-unallocated")
+            slab.write_record(3, PPktRecord(height=1, key=b"x"))
+        assert "PM-S06" in rules_of(san.report)
+
+    def test_link_of_unwritten_slot_flagged(self):
+        with PMSan() as san:
+            slab, _device = self.make_slab("t-link-armed")
+            head = slab.alloc()
+            slab.write_record(head, PPktRecord(kind=KIND_HEAD, height=1))
+            slab.write_root(head)
+            node = slab.alloc()
+            slab.write_next(head, 0, node + 1)   # record never written
+        assert "PM-S06" in rules_of(san.report)
+
+    def test_legal_lifecycle_clean(self):
+        with PMSan() as san:
+            slab, _device = self.make_slab("t-lifecycle")
+            head = slab.alloc()
+            slab.write_record(head, PPktRecord(kind=KIND_HEAD, height=1))
+            slab.write_root(head)
+            node = slab.alloc()
+            slab.write_record(node, PPktRecord(height=1, key=b"a"))
+            slab.write_next(head, 0, node + 1)   # persist-before-link
+            slab.write_next(head, 0, 0)          # unlink (nil is legal)
+            slab.free(node)
+        assert san.report.ok, san.report.summary()
+
+    def test_rewrite_before_commit_allowed(self):
+        # An armed-or-written slot is private to its writer until it is
+        # linked; rewriting it is the normal build-then-publish flow.
+        with PMSan() as san:
+            slab, _device = self.make_slab("t-rewrite")
+            slot = slab.alloc()
+            slab.write_record(slot, PPktRecord(height=1, key=b"a"))
+            slab.write_record(slot, PPktRecord(height=1, key=b"b"))
+            slab.free(slot)
+        assert san.report.ok, san.report.summary()
+
+    def test_adopt_reachable_marks_slots_committed(self):
+        with PMSan() as san:
+            slab, _device = self.make_slab("t-adopt")
+            slot = slab.alloc()
+            slab.write_record(slot, PPktRecord(kind=KIND_HEAD, height=1))
+            slab.adopt_reachable({slot})
+            # Reachable after recovery == committed: in-place rewrite
+            # is the double-commit bug.
+            slab.write_record(slot, PPktRecord(kind=KIND_HEAD, height=2))
+        assert "PM-S06" in rules_of(san.report)
+
+    @pytest.mark.no_pmsan
+    def test_preexisting_slab_not_tracked(self):
+        # A slab created before the sanitizer has unknown slot history;
+        # charging it would be guesswork.  (no_pmsan: relative to the
+        # suite-wide sanitizer the slab is *not* pre-existing, so that
+        # lane would rightly flag the planted rewrite.)
+        slab, _device = self.make_slab("t-preexisting-slab")
+        slot = slab.alloc()
+        with PMSan() as san:
+            slab.write_record(slot, PPktRecord(kind=KIND_HEAD, height=1))
+            slab.write_root(slot)
+            slab.write_record(slot, PPktRecord(kind=KIND_HEAD, height=2))
+        assert san.report.ok, san.report.summary()
 
 
 def skipped_persist_write_node(slist, key, value, height, flags, seq,
