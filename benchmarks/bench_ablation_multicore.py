@@ -12,6 +12,7 @@ import pytest
 
 from repro.bench.testbed import make_testbed
 from repro.bench.wrk import WrkClient
+from repro.storage.server import ServerConfig
 
 CORES = (1, 2, 4)
 CONNECTIONS = 64
@@ -22,7 +23,7 @@ _CACHE = {}
 def measure(engine, cores):
     key = (engine, cores)
     if key not in _CACHE:
-        testbed = make_testbed(engine=engine, server_cores=cores)
+        testbed = make_testbed(ServerConfig(engine=engine, cores=cores))
         wrk = WrkClient(testbed.client, "10.0.0.1", connections=CONNECTIONS,
                         duration_ns=6_000_000, warmup_ns=2_000_000)
         stats = wrk.run()

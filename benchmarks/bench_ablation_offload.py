@@ -12,6 +12,7 @@ import pytest
 from repro.bench.testbed import make_testbed
 from repro.bench.wrk import WrkClient
 from repro.net.nic import NicFeatures
+from repro.storage.server import ServerConfig
 
 _CACHE = {}
 
@@ -22,14 +23,10 @@ def measure(offload):
             tx_csum_offload=offload, rx_csum_offload=offload,
             hw_timestamps=offload,
         )
-        testbed = make_testbed(
-            engine="null",
-            server_features=features,
-            client_features=NicFeatures(
+        testbed = make_testbed(ServerConfig(engine="null"), server_features=features, client_features=NicFeatures(
                 tx_csum_offload=offload, rx_csum_offload=offload,
                 hw_timestamps=offload,
-            ),
-        )
+            ))
         wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
                         duration_ns=2_000_000, warmup_ns=400_000)
         stats = wrk.run()
@@ -69,8 +66,7 @@ def test_hw_timestamps_present_only_with_offload(benchmark):
         results = {}
         for offload in (True, False):
             features = NicFeatures(hw_timestamps=offload)
-            testbed = make_testbed(engine="pktstore" if offload else "null",
-                                   server_features=features)
+            testbed = make_testbed(ServerConfig(engine="pktstore" if offload else "null"), server_features=features)
             wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
                             duration_ns=400_000, warmup_ns=100_000)
             wrk.run()

@@ -11,6 +11,7 @@ import pytest
 
 from repro.bench.testbed import make_testbed
 from repro.bench.wrk import WrkClient
+from repro.storage.server import ServerConfig
 
 PROFILES = {
     # name: (propagation_ns, switch_ns)
@@ -26,10 +27,7 @@ def measure(profile, engine):
     key = (profile, engine)
     if key not in _CACHE:
         propagation, switch = PROFILES[profile]
-        testbed = make_testbed(
-            engine=engine,
-            fabric_kwargs={"propagation_ns": propagation, "switch_ns": switch},
-        )
+        testbed = make_testbed(ServerConfig(engine=engine), fabric_kwargs={"propagation_ns": propagation, "switch_ns": switch})
         wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
                         duration_ns=2_000_000, warmup_ns=400_000)
         _CACHE[key] = wrk.run().avg_rtt_us

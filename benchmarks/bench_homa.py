@@ -12,6 +12,7 @@ import pytest
 
 from repro.bench.testbed import make_testbed
 from repro.bench.wrk import HomaWrkClient, WrkClient
+from repro.storage.server import ServerConfig
 
 _CACHE = {}
 
@@ -19,7 +20,7 @@ _CACHE = {}
 def measure(transport, engine):
     key = (transport, engine)
     if key not in _CACHE:
-        testbed = make_testbed(engine=engine, transport=transport)
+        testbed = make_testbed(ServerConfig(engine=engine, transport=transport))
         client_cls = HomaWrkClient if transport == "homa" else WrkClient
         wrk = client_cls(testbed.client, "10.0.0.1", connections=1,
                          duration_ns=2_000_000, warmup_ns=400_000)

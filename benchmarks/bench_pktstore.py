@@ -11,13 +11,14 @@ import pytest
 from repro.bench.testbed import make_testbed
 from repro.bench.wrk import WrkClient
 from repro.sim.units import ns_to_us
+from repro.storage.server import ServerConfig
 
 _CACHE = {}
 
 
 def run_engine(engine):
     if engine not in _CACHE:
-        testbed = make_testbed(engine=engine)
+        testbed = make_testbed(ServerConfig(engine=engine))
         wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
                         duration_ns=2_500_000, warmup_ns=500_000)
         stats = wrk.run()

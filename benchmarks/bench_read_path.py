@@ -19,6 +19,7 @@ from repro.pm.device import PMDevice
 from repro.pm.namespace import PMNamespace
 from repro.sim.engine import Simulator
 from repro.storage.kvserver import KVServer
+from repro.storage.server import ServerConfig
 
 ENTRIES = 200
 VALUE = 1024
@@ -48,7 +49,7 @@ def measure(config):
     if config in _CACHE:
         return _CACHE[config]
     if config == "novelsm":
-        testbed = make_testbed(engine="novelsm")
+        testbed = make_testbed(ServerConfig(engine="novelsm"))
         preload(testbed, ENTRIES, VALUE, key_prefix="key-0")
         sim, client = testbed.sim, testbed.client
     else:

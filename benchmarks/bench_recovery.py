@@ -11,6 +11,7 @@ from repro.core.pktstore import PacketStore
 from repro.net.pool import BufferPool
 from repro.pm.device import PMDevice
 from repro.pm.namespace import PMNamespace
+from repro.storage.server import ServerConfig
 
 SIZES = (100, 1000, 5000)
 
@@ -55,7 +56,7 @@ def test_recovery_completeness_after_partial_run(benchmark):
     from repro.bench.wrk import WrkClient
 
     def run_and_recover():
-        testbed = make_testbed(engine="pktstore")
+        testbed = make_testbed(ServerConfig(engine="pktstore"))
         wrk = WrkClient(testbed.client, "10.0.0.1", connections=4,
                         duration_ns=1_500_000, warmup_ns=200_000)
         wrk.run()

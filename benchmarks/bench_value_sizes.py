@@ -9,6 +9,7 @@ import pytest
 
 from repro.bench.testbed import make_testbed
 from repro.bench.wrk import WrkClient
+from repro.storage.server import ServerConfig
 
 SIZES = (64, 256, 1024, 4096)
 
@@ -18,7 +19,7 @@ _CACHE = {}
 def measure(engine, value_size):
     key = (engine, value_size)
     if key not in _CACHE:
-        testbed = make_testbed(engine=engine)
+        testbed = make_testbed(ServerConfig(engine=engine))
         wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
                         value_size=value_size,
                         duration_ns=2_000_000, warmup_ns=400_000)
@@ -59,12 +60,12 @@ def test_multi_segment_values_work_in_both_engines(benchmark):
     def collect():
         results = {}
         for engine in ("novelsm", "pktstore"):
-            testbed = make_testbed(engine=engine)
+            testbed = make_testbed(ServerConfig(engine=engine))
             wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
                             value_size=4096,
                             duration_ns=600_000, warmup_ns=100_000)
             stats = wrk.run()
-            key = f"key-0-{wrk._counter % wrk.key_space}".encode()
+            key = f"key-0-{wrk.workload._counter % wrk.workload.key_space}".encode()
             value = testbed.engine.get(key)
             results[engine] = (stats.errors, value is not None and len(value) == 4096)
         return results

@@ -12,6 +12,7 @@ import pytest
 from repro.bench.testbed import make_testbed, preload
 from repro.bench.workloads import YcsbWorkload
 from repro.bench.wrk import WrkClient
+from repro.storage.server import ServerConfig
 
 KEYS = 300
 VALUE = 1024
@@ -22,7 +23,7 @@ _CACHE = {}
 def measure(engine, mix):
     if (engine, mix) in _CACHE:
         return _CACHE[(engine, mix)]
-    testbed = make_testbed(engine=engine)
+    testbed = make_testbed(ServerConfig(engine=engine))
     if engine == "pktstore":
         for i in range(KEYS):
             buf = testbed.server.rx_pool.alloc()

@@ -6,9 +6,9 @@ proposal — network packet metadata as persistent storage structures.
 
 Quick start::
 
-    from repro import make_testbed, WrkClient
+    from repro import ServerConfig, make_testbed, WrkClient
 
-    testbed = make_testbed(engine="pktstore")
+    testbed = make_testbed(ServerConfig(engine="pktstore"))
     stats = WrkClient(testbed.client, "10.0.0.1", connections=25).run()
     print(stats.avg_rtt_us, stats.throughput_krps)
 
@@ -36,9 +36,12 @@ from repro.bench.figure2 import run_figure2
 from repro.core import PacketIO, PacketStore, PktFS
 from repro.pm import PMDevice, PMNamespace
 from repro.sim import ExecutionContext, Simulator
+from repro.storage.server import ServerConfig, serve
 
 __all__ = [
     "__version__",
+    "ServerConfig",
+    "serve",
     "Testbed",
     "make_testbed",
     "preload",

@@ -16,6 +16,7 @@ Run as ``repro-figure2`` or call :func:`run_figure2`.
 
 from repro.bench.report import format_table, us
 from repro.bench.testbed import make_testbed
+from repro.storage.server import ServerConfig
 from repro.bench.wrk import WrkClient
 
 CONNECTIONS = (1, 25, 50, 75, 100)
@@ -52,7 +53,7 @@ def measure_point(engine, connections, value_size=1024,
     """One (engine, connection-count) cell of Figure 2."""
     duration = max(base_duration_ns, connections * 120_000.0)
     warmup = max(base_warmup_ns, connections * 40_000.0)
-    testbed = make_testbed(engine=engine)
+    testbed = make_testbed(ServerConfig(engine=engine))
     wrk = WrkClient(
         testbed.client, "10.0.0.1", connections=connections,
         value_size=value_size, duration_ns=duration, warmup_ns=warmup,

@@ -18,6 +18,7 @@ Run as ``repro-table1`` or call :func:`run_table1`.
 
 from repro.bench.report import format_table, pct_delta, us
 from repro.bench.testbed import make_testbed
+from repro.storage.server import ServerConfig
 from repro.bench.wrk import WrkClient
 from repro.sim.units import ns_to_us
 
@@ -64,7 +65,7 @@ class Table1Result:
 
 
 def _measure_rtt(engine, duration_ns, warmup_ns, value_size):
-    testbed = make_testbed(engine=engine)
+    testbed = make_testbed(ServerConfig(engine=engine))
     wrk = WrkClient(
         testbed.client, "10.0.0.1", connections=1, value_size=value_size,
         duration_ns=duration_ns, warmup_ns=warmup_ns,

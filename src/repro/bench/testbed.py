@@ -4,8 +4,8 @@ The §3 setup: a server (one core, PASTE stack, Optane PM in App-Direct
 mode, busy polling) and a client (regular Linux stack + wrk, all
 cores), both on 25 GbE through a switch, checksum offload on.
 
-``make_testbed(engine=...)`` builds the whole thing with the chosen
-storage configuration:
+``make_testbed(ServerConfig(engine=...))`` builds the whole thing with
+the chosen storage configuration:
 
 ================  ============================================================
 ``engine=``       server behaviour
@@ -44,7 +44,8 @@ class Testbed:
     """Handles to everything the experiments touch."""
 
     def __init__(self, sim, fabric, server, client, engine, kv, pm_device,
-                 pm_ns, config=None, overload=None, recorder=None):
+                 pm_ns, config=None, overload=None, recorder=None,
+                 capture=None):
         self.sim = sim
         self.fabric = fabric
         self.server = server
@@ -59,6 +60,8 @@ class Testbed:
         self.overload = overload
         #: repro.obs Recorder (None unless the config asked for metrics).
         self.recorder = recorder
+        #: repro.capture CaptureTap (None unless config.capture).
+        self.capture = capture
 
     @property
     def metrics(self):
@@ -66,53 +69,51 @@ class Testbed:
         return self.recorder.registry if self.recorder is not None else None
 
 
-def make_testbed(engine=None, server_features=None, client_features=None,
-                 fabric_kwargs=None, pm_bytes=PM_BYTES, engine_kwargs=None,
-                 paste=True, memtable_arena=None, transport=None,
-                 server_cores=None, pm_device=None,
-                 paste_pool_bytes=PASTE_POOL_BYTES, kv_kwargs=None,
-                 config=None):
+#: Pre-config keywords make_testbed once accepted, mapped to the
+#: ServerConfig field that replaced each (for the migration error).
+_RETIRED_KWARGS = {
+    "engine": "engine",
+    "transport": "transport",
+    "server_cores": "cores",
+    "memtable_arena": "memtable_arena",
+    "engine_kwargs": "engine_kwargs",
+    "kv_kwargs": "zero_copy_get/contain_errors/overload",
+}
+
+
+def make_testbed(config=None, *, server_features=None, client_features=None,
+                 fabric_kwargs=None, pm_bytes=PM_BYTES, paste=True,
+                 pm_device=None, paste_pool_bytes=PASTE_POOL_BYTES,
+                 **retired):
     """Build the two-host testbed from a :class:`ServerConfig`.
 
-    ``config=`` is the one knob for everything server-shaped —
+    ``config`` is the one knob for everything server-shaped —
     transport, engine, cores, overload policy, zero-copy GET, idle
-    reaper, metrics.  The remaining keywords cover the *world* around
-    the server: NIC features, fabric parameters, PM device/sizing,
-    whether the rx pool lives in PM (``paste``).
+    reaper, metrics, capture.  The remaining keywords cover the *world*
+    around the server: NIC features, fabric parameters, PM
+    device/sizing, whether the rx pool lives in PM (``paste``).
 
     The pre-config keywords (``engine=``, ``transport=``,
     ``server_cores=``, ``memtable_arena=``, ``engine_kwargs=``,
-    ``kv_kwargs=``) still work as a deprecation shim — they are folded
-    into a config — but may not be combined with ``config=``.
+    ``kv_kwargs=``) are retired; passing one raises with the
+    ServerConfig field that replaced it.
     """
-    legacy = {
-        "engine": engine, "transport": transport,
-        "server_cores": server_cores, "memtable_arena": memtable_arena,
-        "engine_kwargs": engine_kwargs, "kv_kwargs": kv_kwargs,
-    }
-    used_legacy = {k: v for k, v in legacy.items() if v is not None}
-    if config is None:
-        kv_kwargs = dict(kv_kwargs or {})
-        config = ServerConfig(
-            engine=engine or "novelsm",
-            transport=transport or "tcp",
-            cores=server_cores or 1,
-            memtable_arena=memtable_arena if memtable_arena is not None
-            else 48 << 20,
-            engine_kwargs=dict(engine_kwargs or {}),
-            zero_copy_get=kv_kwargs.pop("zero_copy_get", False),
-            contain_errors=kv_kwargs.pop("contain_errors", True),
-            overload=kv_kwargs.pop("overload", None),
+    if retired:
+        hints = ", ".join(
+            f"{kw}= -> ServerConfig({_RETIRED_KWARGS[kw]}=...)"
+            for kw in sorted(retired) if kw in _RETIRED_KWARGS
         )
-        if kv_kwargs:
+        unknown = sorted(kw for kw in retired if kw not in _RETIRED_KWARGS)
+        if unknown:
             raise TypeError(
-                f"unknown kv_kwargs {sorted(kv_kwargs)} — use ServerConfig"
+                f"make_testbed() got unexpected keyword(s) {unknown}"
             )
-    elif used_legacy:
         raise TypeError(
-            f"pass either config= or the legacy keywords, not both "
-            f"(got {sorted(used_legacy)})"
+            f"make_testbed() no longer takes {sorted(retired)}; build a "
+            f"ServerConfig and pass it as config= instead: {hints} — e.g. "
+            f"make_testbed(config=ServerConfig(engine='pktstore'))"
         )
+    config = config or ServerConfig()
     config.validate()
 
     sim = Simulator()
@@ -140,6 +141,14 @@ def make_testbed(engine=None, server_features=None, client_features=None,
     )
 
     handle = serve(server, config, pm_ns=pm_ns)
+    if handle.capture is not None:
+        # The ServerConfig covers the server; the capture also needs the
+        # *world* sizing (PM, rx pool) so a standby rebuilds into the
+        # same pressure envelope (pool eviction is part of history).
+        handle.capture.meta.update({
+            "pm_bytes": pm_bytes,
+            "paste_pool_bytes": paste_pool_bytes if paste else None,
+        })
     if handle.recorder is not None:
         # The testbed owns both ends of the wire, so the registry can
         # account the full RTT: client slices + fabric frames included.
@@ -147,7 +156,7 @@ def make_testbed(engine=None, server_features=None, client_features=None,
         handle.recorder.attach_fabric(fabric)
     return Testbed(sim, fabric, server, client, handle.engine, handle.kv,
                    pm_device, pm_ns, config=config, overload=handle.overload,
-                   recorder=handle.recorder)
+                   recorder=handle.recorder, capture=handle.capture)
 
 
 def preload(testbed, entries, value_size=1024, key_prefix="warm"):
@@ -156,25 +165,10 @@ def preload(testbed, entries, value_size=1024, key_prefix="warm"):
     Inserts directly through the engine (no network), as the paper's
     continual-write experiment reaches steady state before measuring.
     """
-
-    class _FakeMessage:
-        def __init__(self, value):
-            self._value = value
-            self.body_slices = []
-            self.hw_tstamp = None
-            self.wire_csum = None
-
-        @property
-        def body(self):
-            return self._value
-
-        def release(self):
-            pass
-
-    from repro.sim.context import NULL_CONTEXT
+    from repro.storage.engines import direct_put
 
     value = bytes(value_size)
     for index in range(entries):
         key = f"{key_prefix}-{index}".encode()
-        testbed.engine.put(key, _FakeMessage(value), NULL_CONTEXT)
+        direct_put(testbed.engine, key, value)
     return entries

@@ -1,9 +1,22 @@
-"""YCSB-style workload generation for the KV benchmarks.
+"""Traffic sources: one protocol for every workload generator.
 
 The paper's measurement uses wrk's uniform continual writes; downstream
 users of a KV store usually characterise it with the YCSB mixes.  This
-module provides the standard ones over a Zipfian key popularity
-distribution (Gray et al.'s generator, as used by YCSB itself):
+module provides both behind a single :class:`TrafficSource` protocol —
+the same interface the chaos storms' burst phases and the capture
+replayer (:mod:`repro.capture.replay`) implement, so every consumer
+(`repro-stats`, `repro-chaoscheck`, `repro-bench-speed`, `repro-capture
+replay`) drives traffic the same way:
+
+- ``next_op(loop_id)`` returns the next ``(method, key, value)``
+  operation for one closed loop, or ``None`` when that loop's stream
+  is exhausted (open-ended sources never return ``None``);
+- sources are deterministic and seedable — two sources constructed
+  with the same arguments emit byte-identical operation streams, which
+  is what lets the bench-speed event digests pin runs exactly.
+
+The YCSB mixes over a Zipfian key popularity distribution (Gray et
+al.'s generator, as used by YCSB itself):
 
 ========  ======================  =======================
 workload  operation mix           classic YCSB analogue
@@ -21,6 +34,110 @@ should be preloaded (`repro.bench.testbed.preload`).
 
 import math
 import random
+
+
+class TrafficSource:
+    """Protocol for deterministic operation generators.
+
+    A source feeds one or more closed loops (connections, Homa
+    requesters, replayed flows).  Consumers call
+    ``next_op(loop_id)`` each time loop ``loop_id`` is ready to issue;
+    the source answers ``(method, key_string, value_bytes_or_None)``
+    or ``None`` to stop that loop.  Sources must be deterministic: no
+    wall clock, no unseeded randomness (PMLint DET-01) — the same
+    construction arguments must yield the same stream.
+    """
+
+    def next_op(self, loop_id=0):
+        """The next operation for ``loop_id``, or ``None`` when done."""
+        raise NotImplementedError
+
+    def describe(self):
+        """One-line JSON-able summary for reports."""
+        return {"source": type(self).__name__}
+
+
+class UniformSource(TrafficSource):
+    """wrk's default workload: uniform keys, one method, fixed value.
+
+    Reproduces the paper's §3 measurement traffic: a shared counter
+    walks a fixed key space, each loop's keys namespaced by its id.
+    The value is the classic wrk fill pattern.
+    """
+
+    def __init__(self, method="PUT", key_space=1000, value_size=1024,
+                 key_prefix="key"):
+        self.method = method
+        self.key_space = key_space
+        self.value_size = value_size
+        self.key_prefix = key_prefix
+        self._value = bytes((0x61 + (i % 23)) for i in range(value_size))
+        self._counter = 0
+
+    def next_op(self, loop_id=0):
+        self._counter += 1
+        key = f"{self.key_prefix}-{loop_id}-{self._counter % self.key_space}"
+        if self.method == "GET":
+            return "GET", key, None
+        return self.method, key, self._value
+
+    def describe(self):
+        return {"source": "uniform", "method": self.method,
+                "key_space": self.key_space, "value_size": self.value_size}
+
+
+class StormBurstSource(TrafficSource):
+    """The chaos storms' PUT bursts: small private key sets, finite.
+
+    Each loop owns ``keys_per_loop`` keys (globally numbered in loop
+    order) and issues ``puts_per_loop`` PUTs round-robin over them —
+    more puts than keys forces overwrites, feeding the emergency GC.
+    Values carry a ``{stamp_prefix}{loop}:{key}:{index}:`` stamp plus a
+    deterministic filler, so the durability oracles can attribute any
+    stored byte string back to the op that wrote it.
+    """
+
+    def __init__(self, loops, puts_per_loop, keys_per_loop, value_size,
+                 key_prefix="k", stamp_prefix="c"):
+        self.loops = loops
+        self.value_size = value_size
+        self.stamp_prefix = stamp_prefix
+        self._keys = [
+            [f"{key_prefix}{loop_id * keys_per_loop + i}"
+             for i in range(keys_per_loop)]
+            for loop_id in range(loops)
+        ]
+        self._sent = [0] * loops
+        self._limit = [puts_per_loop] * loops
+
+    def keys_for(self, loop_id):
+        """The private key set of one loop (oracle bookkeeping)."""
+        return list(self._keys[loop_id])
+
+    def extend(self, loop_id, extra):
+        """Grant a loop ``extra`` more puts (the kill storm's second
+        burst resumes exhausted loops this way)."""
+        self._limit[loop_id] += extra
+
+    def value_for(self, loop_id, key, index):
+        stamp = f"{self.stamp_prefix}{loop_id}:{key}:{index}:".encode()
+        filler = bytes((loop_id * 31 + index * 7 + i) % 256
+                       for i in range(max(0, self.value_size - len(stamp))))
+        return stamp + filler
+
+    def next_op(self, loop_id=0):
+        index = self._sent[loop_id]
+        if index >= self._limit[loop_id]:
+            return None
+        self._sent[loop_id] = index + 1
+        keys = self._keys[loop_id]
+        key = keys[index % len(keys)]
+        return "PUT", key, self.value_for(loop_id, key, index)
+
+    def describe(self):
+        return {"source": "storm-burst", "loops": self.loops,
+                "puts_per_loop": self._limit[0] if self._limit else 0,
+                "value_size": self.value_size}
 
 
 class ZipfianGenerator:
@@ -67,8 +184,13 @@ class ZipfianGenerator:
         return [self.next() for _ in range(count)]
 
 
-class YcsbWorkload:
-    """An operation-mix + key-distribution bundle for the wrk clients."""
+class YcsbWorkload(TrafficSource):
+    """An operation-mix + key-distribution bundle for the wrk clients.
+
+    One shared Zipfian stream serves every loop — YCSB's key popularity
+    is a property of the workload, not of any one connection — so
+    ``loop_id`` is accepted (TrafficSource protocol) but ignored.
+    """
 
     MIXES = {
         "A": 0.5,
@@ -92,7 +214,7 @@ class YcsbWorkload:
         self.issued_reads = 0
         self.issued_writes = 0
 
-    def next_op(self):
+    def next_op(self, loop_id=0):
         """(method, key_string, value_bytes_or_None) for the next request."""
         key = f"{self.key_prefix}-{self._zipf.next()}"
         if self._rng.random() < self.read_fraction:
@@ -100,6 +222,10 @@ class YcsbWorkload:
             return "GET", key, None
         self.issued_writes += 1
         return "PUT", key, self._value
+
+    def describe(self):
+        return {"source": "ycsb", "mix": self.mix,
+                "key_space": self.key_space, "value_size": self.value_size}
 
     def __repr__(self):
         return (

@@ -11,8 +11,19 @@ Latency/throughput statistics follow the paper's reporting: average
 RTT over the measurement window and completed requests per second.
 """
 
+from repro.bench.workloads import UniformSource
 from repro.net.http import HttpParser, build_request
 from repro.sim.units import ns_to_us
+
+
+def _op_to_request(op):
+    """Render one TrafficSource op as HTTP request bytes (or None)."""
+    if op is None:
+        return None
+    method, key, value = op
+    if value is None:
+        return build_request(method, f"/{key}")
+    return build_request(method, f"/{key}", value)
 
 
 class WrkStats:
@@ -107,6 +118,11 @@ class _Connection:
             self.client._conn_finished(self)
             return
         request = self.client.next_request(self)
+        if request is None:
+            # The traffic source is exhausted (finite workloads, replay).
+            self.stopped = True
+            self.client._conn_finished(self)
+            return
         self.sent += 1
         self.client.costs.charge_http_build(ctx)
         self.sock.send(request, ctx)
@@ -148,32 +164,22 @@ class WrkClient:
         self.duration_ns = duration_ns
         self.warmup_ns = warmup_ns
         self.key_prefix = key_prefix
-        #: Optional mixed-operation generator (see repro.bench.workloads);
-        #: overrides method/key generation when set.
-        self.workload = workload
+        #: The TrafficSource driving every loop (see
+        #: repro.bench.workloads); defaults to wrk's uniform writes.
+        self.workload = workload if workload is not None else UniformSource(
+            method=method, key_space=key_space, value_size=value_size,
+            key_prefix=key_prefix,
+        )
         self.stats = WrkStats()
         self._conns = []
         self._active = 0
-        self._value = bytes(
-            (0x61 + (i % 23)) for i in range(value_size)
-        )
-        self._counter = 0
         self.started_at = None
         self.stop_at = None
 
     # -- workload -----------------------------------------------------------
 
     def next_request(self, conn):
-        if self.workload is not None:
-            method, key, value = self.workload.next_op()
-            if method == "GET":
-                return build_request("GET", f"/{key}")
-            return build_request(method, f"/{key}", value)
-        self._counter += 1
-        key = f"{self.key_prefix}-{conn.conn_id}-{self._counter % self.key_space}"
-        if self.method == "GET":
-            return build_request("GET", f"/{key}")
-        return build_request(self.method, f"/{key}", self._value)
+        return _op_to_request(self.workload.next_op(conn.conn_id))
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -244,7 +250,7 @@ class HomaWrkClient:
     def __init__(self, host, server_ip, port=80, connections=1,
                  value_size=1024, method="PUT", key_space=1000,
                  duration_ns=20_000_000.0, warmup_ns=5_000_000.0,
-                 key_prefix="key", route=None):
+                 key_prefix="key", route=None, workload=None):
         self.host = host
         self.costs = host.costs
         self.transport = host.enable_homa()
@@ -258,19 +264,21 @@ class HomaWrkClient:
         self.duration_ns = duration_ns
         self.warmup_ns = warmup_ns
         self.key_prefix = key_prefix
+        #: The TrafficSource driving every loop, as in WrkClient.
+        self.workload = workload if workload is not None else UniformSource(
+            method=method, key_space=key_space, value_size=value_size,
+            key_prefix=key_prefix,
+        )
         self.stats = WrkStats()
-        self._value = bytes((0x61 + (i % 23)) for i in range(value_size))
-        self._counter = 0
         self._last_key = None
         self.stop_at = None
 
     def _request_bytes(self, loop_id):
-        self._counter += 1
-        key = f"{self.key_prefix}-{loop_id}-{self._counter % self.key_space}"
-        self._last_key = key
-        if self.method == "GET":
-            return build_request("GET", f"/{key}")
-        return build_request(self.method, f"/{key}", self._value)
+        op = self.workload.next_op(loop_id)
+        if op is None:
+            return None
+        self._last_key = op[1]
+        return _op_to_request(op)
 
     def start(self):
         sim = self.host.sim
@@ -307,6 +315,8 @@ class HomaWrkClient:
             )
 
         payload = self._request_bytes(loop_id)
+        if payload is None:
+            return  # the traffic source is exhausted; this loop ends
         dst_ip = self.route(self._last_key) if self.route is not None \
             else self.server_ip
         rpc_id = self.transport.send_request(

@@ -1,0 +1,44 @@
+"""Deterministic frame capture and replay (packets *are* the data).
+
+The paper's thesis — packets as persistent in-memory data structures —
+makes a frame capture more than a debugging artifact: because the
+store's contents are exactly the payloads it was sent, a capture of
+the delivered frame stream is simultaneously
+
+- a repeatable workload (replay it through a wrk client against any
+  fresh server: :class:`repro.capture.replay.CaptureSource`), and
+- a disaster-recovery image (inject it into a fresh host's NIC and the
+  store rebuilds itself: :func:`repro.capture.replay.rebuild_standby`),
+
+with the rebuilt store verified against the live one by the same
+durability oracles the crash sweeps trust.
+
+Modules:
+
+- :mod:`repro.capture.format` — versioned, CRC-framed record codec.
+- :mod:`repro.capture.tap` — ring-buffered delivery tap on the fabric.
+- :mod:`repro.capture.replay` — workload replay, standby rebuild,
+  store-equivalence verification, cluster reseed.
+- :mod:`repro.capture.cli` — the ``repro-capture`` tool.
+"""
+
+from repro.capture.format import (  # noqa: F401
+    Capture,
+    CaptureError,
+    CaptureCorruptError,
+    FrameRecord,
+)
+from repro.capture.tap import CaptureTap  # noqa: F401
+from repro.capture.replay import (  # noqa: F401
+    CaptureSource,
+    RebuildReport,
+    Standby,
+    extract_ops,
+    inject,
+    plant_drop,
+    rebuild_standby,
+    reseed_from_capture,
+    store_digest,
+    verify_rebuild,
+    verify_reseed,
+)

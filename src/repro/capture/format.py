@@ -1,0 +1,197 @@
+"""The capture file format: versioned, CRC-framed, exactly reversible.
+
+A capture is a pcap-like byte stream of *delivered* frames::
+
+    +--------------------------------------------------+
+    | magic "RPCAP" | version u8 | meta_len u32 | meta |  header
+    | header_crc u32                                   |
+    +--------------------------------------------------+
+    | frame_len u32 | t_ns f64 | src u32 | dst u32     |  record 0
+    | frame bytes ... | record_crc u32                 |
+    +--------------------------------------------------+
+    | ...                                              |  record 1..N
+
+All integers are big-endian; ``t_ns`` is the simulator clock as an
+IEEE-754 double, so timestamps round-trip bit-exactly.  ``meta`` is a
+canonical JSON object (sorted keys) carrying provenance: what was
+captured, where the tap sat, and enough of the ``ServerConfig`` to
+rebuild a standby from the file alone.  Every record and the header
+carry a CRC32C over their own bytes.
+
+Decoding guarantees (property-tested in ``test_capture_format``):
+
+- ``Capture.from_bytes(capture.to_bytes())`` reproduces the records
+  exactly — timestamps, addresses and frame bytes;
+- a record whose CRC does not match raises
+  :class:`CaptureCorruptError` — corruption is never silently decoded;
+- a *partial tail* (the file ends mid-record, e.g. an interrupted
+  write) is tolerated: complete records decode, ``truncated`` is set.
+"""
+
+import hashlib
+import json
+import struct
+from collections import namedtuple
+
+from repro.net.checksum import crc32c
+
+MAGIC = b"RPCAP"
+VERSION = 1
+
+#: JSON schema tag embedded in every capture's meta block.
+SCHEMA = "repro-capture/v1"
+
+_HEAD = struct.Struct("!5sBI")       # magic, version, meta_len
+_REC = struct.Struct("!IdII")        # frame_len, t_ns, src_ip, dst_ip
+_CRC = struct.Struct("!I")
+
+#: One delivered frame: sim-clock arrival time, fabric addresses (ints)
+#: and the frame bytes as they hit the destination NIC.
+FrameRecord = namedtuple("FrameRecord", ("t_ns", "src_ip", "dst_ip", "frame"))
+
+
+class CaptureError(ValueError):
+    """Structurally invalid capture (bad magic, version, header)."""
+
+
+class CaptureCorruptError(CaptureError):
+    """A complete record is present but its CRC does not match."""
+
+
+def encode_record(record):
+    """One record as bytes (header + frame + CRC over both)."""
+    head = _REC.pack(len(record.frame), record.t_ns,
+                     record.src_ip, record.dst_ip)
+    body = head + bytes(record.frame)
+    return body + _CRC.pack(crc32c(body))
+
+
+class Capture:
+    """An ordered list of :class:`FrameRecord` plus provenance meta.
+
+    Records keep *append order* — the order the fabric scheduled the
+    deliveries — which equals the simulator's FIFO tie-break for
+    same-timestamp frames, so replaying in record order reproduces the
+    original delivery order exactly.
+    """
+
+    def __init__(self, meta=None, records=None):
+        self.meta = {"schema": SCHEMA}
+        if meta:
+            self.meta.update(meta)
+        self.records = list(records) if records else []
+        #: True when from_bytes hit a partial tail (file ended
+        #: mid-record); the complete prefix decoded fine.
+        self.truncated = False
+
+    # -- building --------------------------------------------------------------
+
+    def append(self, t_ns, src_ip, dst_ip, frame):
+        self.records.append(FrameRecord(float(t_ns), int(src_ip),
+                                        int(dst_ip), bytes(frame)))
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_bytes(self):
+        meta_blob = json.dumps(self.meta, sort_keys=True,
+                               separators=(",", ":")).encode()
+        header = _HEAD.pack(MAGIC, VERSION, len(meta_blob)) + meta_blob
+        chunks = [header, _CRC.pack(crc32c(header))]
+        for record in self.records:
+            chunks.append(encode_record(record))
+        return b"".join(chunks)
+
+    @classmethod
+    def from_bytes(cls, data):
+        data = bytes(data)
+        if len(data) < _HEAD.size or not data.startswith(MAGIC):
+            raise CaptureError("not a capture: bad magic")
+        magic, version, meta_len = _HEAD.unpack_from(data, 0)
+        if version != VERSION:
+            raise CaptureError(f"unsupported capture version {version}")
+        header_end = _HEAD.size + meta_len
+        if len(data) < header_end + _CRC.size:
+            raise CaptureError("capture header truncated")
+        header = data[:header_end]
+        (header_crc,) = _CRC.unpack_from(data, header_end)
+        if crc32c(header) != header_crc:
+            raise CaptureCorruptError("capture header CRC mismatch")
+        try:
+            meta = json.loads(data[_HEAD.size:header_end].decode())
+        except ValueError as exc:
+            raise CaptureError(f"capture meta is not JSON: {exc}") from exc
+
+        capture = cls()
+        capture.meta = meta
+        offset = header_end + _CRC.size
+        total = len(data)
+        while offset < total:
+            if total - offset < _REC.size:
+                capture.truncated = True
+                break
+            frame_len, t_ns, src_ip, dst_ip = _REC.unpack_from(data, offset)
+            record_end = offset + _REC.size + frame_len
+            if total < record_end + _CRC.size:
+                capture.truncated = True
+                break
+            (record_crc,) = _CRC.unpack_from(data, record_end)
+            if crc32c(data[offset:record_end]) != record_crc:
+                raise CaptureCorruptError(
+                    f"record {len(capture.records)} CRC mismatch "
+                    f"at byte {offset}"
+                )
+            capture.records.append(FrameRecord(
+                t_ns, src_ip, dst_ip,
+                data[offset + _REC.size:record_end],
+            ))
+            offset = record_end + _CRC.size
+        return capture
+
+    def save(self, path):
+        with open(path, "wb") as fh:
+            fh.write(self.to_bytes())
+
+    @classmethod
+    def load(cls, path):
+        with open(path, "rb") as fh:
+            return cls.from_bytes(fh.read())
+
+    # -- inspection ------------------------------------------------------------
+
+    def digest(self):
+        """SHA-256 over the canonical record stream (meta excluded).
+
+        Two captures of byte-identical delivery streams — e.g. a live
+        run and its replay — have equal digests; this is the
+        event-sequence pin the replay-determinism tests assert.
+        """
+        digest = hashlib.sha256()
+        for record in self.records:
+            digest.update(encode_record(record))
+        return digest.hexdigest()
+
+    def filter(self, src_ip=None, dst_ip=None, since_ns=None):
+        """A new Capture holding the matching records (same meta)."""
+        out = Capture(meta=dict(self.meta))
+        for record in self.records:
+            if src_ip is not None and record.src_ip != src_ip:
+                continue
+            if dst_ip is not None and record.dst_ip != dst_ip:
+                continue
+            if since_ns is not None and record.t_ns < since_ns:
+                continue
+            out.records.append(record)
+        return out
+
+    def span_ns(self):
+        if not self.records:
+            return 0.0
+        times = [record.t_ns for record in self.records]
+        return max(times) - min(times)
+
+    def __len__(self):
+        return len(self.records)
+
+    def __repr__(self):
+        return (f"<Capture {len(self.records)} frames "
+                f"{sum(len(r.frame) for r in self.records)} B>")

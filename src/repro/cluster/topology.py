@@ -20,9 +20,12 @@ corpse is torn down immediately via
 
 The control plane itself (failure detection gossip, epoch numbers,
 membership consensus) is abstracted to a shared in-process view, as a
-simulation of the data plane should; re-replicating a promoted shard
-onto a fresh backup is future work and documented as such in
-docs/RESILIENCE.md.
+simulation of the data plane should.  Re-replicating a promoted shard
+onto a fresh backup is capture-driven: with ``capture=True`` the
+fabric-wide tap records every node's delivered history, and
+:func:`repro.capture.replay.reseed_from_capture` rebuilds a killed
+node from packets alone and re-attaches it to the ring
+(docs/CAPTURE.md).
 """
 
 from dataclasses import dataclass, field
@@ -77,10 +80,24 @@ class ClusterConfig:
     client_cores: int = CLIENT_CORES
     fabric_kwargs: dict = field(default_factory=dict)
     engine_kwargs: dict = field(default_factory=dict)
+    #: Record the whole fabric's delivered frame stream (repro.capture).
+    #: The capture is fabric-wide — every node's rx history — so a dead
+    #: node can be rebuilt from it (replay.reseed_from_capture).
+    capture: bool = False
+    capture_max_frames: int = None
+    capture_max_bytes: int = None
 
     def validate(self):
         if self.hosts < 1:
             raise ValueError(f"hosts must be >= 1, got {self.hosts}")
+        for bound in ("capture_max_frames", "capture_max_bytes"):
+            value = getattr(self, bound)
+            if value is not None and value <= 0:
+                raise ValueError(f"{bound} must be positive (or None)")
+        if (self.capture_max_frames is not None or
+                self.capture_max_bytes is not None) and not self.capture:
+            raise ValueError(
+                "capture_max_frames/capture_max_bytes need capture=True")
         if self.ack_policy not in ACK_POLICIES:
             raise ValueError(
                 f"ack_policy {self.ack_policy!r} not in {ACK_POLICIES}")
@@ -318,7 +335,8 @@ class Router:
 class Cluster:
     """Handles to the whole topology; see :func:`build_cluster`."""
 
-    def __init__(self, config, sim, fabric, ring, nodes, client, recorder):
+    def __init__(self, config, sim, fabric, ring, nodes, client, recorder,
+                 capture_tap=None):
         self.config = config
         self.sim = sim
         self.fabric = fabric
@@ -326,6 +344,12 @@ class Cluster:
         self.nodes = nodes          # name -> ClusterNode, ring order
         self.client = client
         self.recorder = recorder
+        #: repro.capture CaptureTap over the whole fabric (None unless
+        #: config.capture); feeds reseed_from_capture.
+        self.capture_tap = capture_tap
+        #: name -> sim time of the kill; reseed injects the dead node's
+        #: pre-kill history and catches up from the survivors' after it.
+        self.killed_at = {}
         self.router = Router(self)
         self.stats = {"kills": 0, "failovers": 0}
         if recorder is not None:
@@ -355,6 +379,7 @@ class Cluster:
         if not node.host.alive:
             raise RuntimeError(f"{name} is already dead")
         node.host.kill()
+        self.killed_at[name] = self.sim.now
         self.stats["kills"] += 1
         return node
 
@@ -464,34 +489,49 @@ def build_cluster(config=None, **overrides):
         recorder.attach_host(client, "client")
         recorder.attach_fabric(fabric)
 
-    return Cluster(config, sim, fabric, ring, nodes, client, recorder)
+    capture_tap = None
+    if config.capture:
+        from repro.capture.tap import CaptureTap
+        from repro.net.headers import ip_to_int
+
+        capture_tap = CaptureTap(
+            fabric, max_frames=config.capture_max_frames,
+            max_bytes=config.capture_max_bytes,
+            meta={
+                "cluster": {
+                    "hosts": config.hosts, "vnodes": config.vnodes,
+                    "cores": config.cores, "engine": config.engine,
+                    "ack_policy": config.ack_policy, "port": config.port,
+                    "repl_port": config.repl_port,
+                    "pm_bytes": config.pm_bytes,
+                    "paste_pool_bytes": config.paste_pool_bytes,
+                    "pool_slots": config.pool_slots,
+                    "engine_kwargs": dict(config.engine_kwargs),
+                },
+                "node_ips": {name: ip_to_int(ip)
+                             for name, ip in ips.items()},
+            },
+        )
+        if recorder is not None:
+            registry = recorder.registry
+            registry.gauge("cluster.capture.buffered",
+                           fn=lambda t=capture_tap: float(len(t)))
+            registry.gauge("cluster.capture.seen",
+                           fn=lambda t=capture_tap: float(t.seen_frames))
+            registry.gauge("cluster.capture.evicted",
+                           fn=lambda t=capture_tap: float(t.dropped_frames))
+
+    return Cluster(config, sim, fabric, ring, nodes, client, recorder,
+                   capture_tap=capture_tap)
 
 
 def preload_cluster(cluster, entries, value_size=512, key_prefix="warm"):
     """Direct-engine preload honouring placement: primary + backup."""
-
-    class _FakeMessage:
-        def __init__(self, value):
-            self._value = value
-            self.body_slices = []
-            self.hw_tstamp = None
-            self.wire_csum = None
-
-        @property
-        def body(self):
-            return self._value
-
-        @property
-        def content_length(self):
-            return len(self._value)
-
-        def release(self):
-            pass
+    from repro.storage.engines import direct_put
 
     value = bytes(value_size)
     for index in range(entries):
         key = f"{key_prefix}-{index}".encode("utf-8")
         for name in cluster.ring.route(key):
-            cluster.nodes[name].engine.put(key, _FakeMessage(value),
-                                           NULL_CONTEXT)
+            direct_put(cluster.nodes[name].engine, key, value, NULL_CONTEXT)
     return entries

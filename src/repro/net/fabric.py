@@ -89,6 +89,10 @@ class Fabric:
         self.bytes = 0
         #: Optional live-observability hook (repro.obs.Recorder).
         self.recorder = None
+        #: Delivery taps: callables (arrival_ns, src_ip, dst_ip, bytes)
+        #: invoked once per *delivered* frame copy (post fault plan),
+        #: i.e. what the destination NIC will actually see, when.
+        self._taps = []
 
     def register(self, nic):
         """Attach a NIC; its IP becomes its fabric address."""
@@ -98,6 +102,25 @@ class Fabric:
         downlink = Link(self.bandwidth_gbps, self.propagation_ns)
         self._ports[nic.ip] = (nic, uplink, downlink)
         return nic
+
+    def replace(self, nic):
+        """Swap the NIC behind an address (cluster reseed: a rebuilt
+        standby takes over the dead host's fabric port).  Fresh links:
+        the old port's serialisation backlog died with its host."""
+        if nic.ip not in self._ports:
+            raise ValueError(f"no fabric port at {nic.ip} to replace")
+        uplink = Link(self.bandwidth_gbps, self.propagation_ns)
+        downlink = Link(self.bandwidth_gbps, self.propagation_ns)
+        self._ports[nic.ip] = (nic, uplink, downlink)
+        return nic
+
+    def add_tap(self, tap):
+        """Attach a delivery tap (see :mod:`repro.capture.tap`)."""
+        self._taps.append(tap)
+        return tap
+
+    def remove_tap(self, tap):
+        self._taps.remove(tap)
 
     def transmit(self, src_nic, dst_ip, frame):
         """Carry ``frame`` from ``src_nic`` to the NIC owning ``dst_ip``."""
@@ -119,6 +142,8 @@ class Fabric:
             arrival = downlink.transmit(at_switch, len(data))
             if self.recorder is not None:
                 self.recorder.record_wire(arrival + extra_delay - self.sim.now)
+            for tap in self._taps:
+                tap(arrival + extra_delay, src_nic.ip, dst_ip, data)
             self.sim.at(arrival + extra_delay, dst_nic.on_wire, data)
 
     def one_way_latency_ns(self, nbytes):

@@ -10,21 +10,26 @@ PMLint DET-01 clean so an instrumented run replays byte-identically):
   *callback-backed*: constructed with ``fn=...`` it reads live system
   state (core queue depth, pool occupancy, connection count) at
   snapshot time, so the hot path pays nothing to keep it current.
-- :class:`Histogram` — fixed bucket boundaries chosen at construction;
-  ``observe`` is one bisect + two adds plus one t-digest buffer append,
-  no per-observation allocation beyond the buffered point.  Each
-  histogram carries a :class:`~repro.obs.tdigest.TDigest` alongside its
-  ``le`` buckets: the buckets keep the JSON snapshot schema (and its
-  CI check) stable, while :meth:`Histogram.quantile` answers from the
-  digest — percentile-exact within the documented scale-function bound
-  instead of bucket-edge-exact.  The old bucketed answer remains as
-  :meth:`Histogram.bucket_quantile`.
+- :class:`Histogram` — a :class:`~repro.obs.tdigest.TDigest` behind
+  the classic ``le``-bucket snapshot shape.  ``observe`` is two adds
+  plus one digest buffer append — the digest is the *only* sample
+  store; the fixed per-observation bucket counters of earlier versions
+  are gone.  :meth:`Histogram.quantile` answers from the digest
+  (percentile-exact within the documented scale-function bound); the
+  ``le`` buckets still exist but are **derived views**, materialised
+  from the digest's centroids on demand (:attr:`Histogram.counts`),
+  and the snapshot emits them **sparsely** — zero-count buckets are
+  dropped, only the terminal ``{"le": null}`` overflow entry is always
+  present.  The old bucket-edge answer remains as
+  :meth:`Histogram.bucket_quantile` (now over derived counts).
 
 Snapshots are plain dicts (JSON-ready) so ``repro-stats`` can export
-them and CI can schema-check the output.  ``reset`` zeroes counters
-and histograms but keeps the metric objects — handles cached by
-instrumented code stay valid — and records the reset time, giving
-windowed rates and utilisations a well-defined origin.
+them and CI can schema-check the output; the document carries
+``schema`` (:data:`SNAPSHOT_SCHEMA`) so consumers can detect the
+sparse-bucket format.  ``reset`` zeroes counters and histograms but
+keeps the metric objects — handles cached by instrumented code stay
+valid — and records the reset time, giving windowed rates and
+utilisations a well-defined origin.
 """
 
 from bisect import bisect_left
@@ -98,21 +103,29 @@ class Gauge:
 #: Quantiles every histogram snapshot reports from its digest.
 SNAPSHOT_QUANTILES = (0.5, 0.9, 0.99, 0.999)
 
+#: Snapshot document version.  v2: histogram buckets are sparse views
+#: derived from the t-digest (zero-count buckets elided); v1 (implied
+#: by the key's absence) emitted the full fixed bucket array.
+SNAPSHOT_SCHEMA = "repro-metrics/v2"
+
 
 class Histogram:
-    """Fixed-boundary histogram: ``len(bounds) + 1`` buckets + a digest.
+    """Digest-backed histogram presenting classic ``le`` buckets.
 
-    Bucket ``i`` counts observations ``<= bounds[i]``; the final bucket
-    is the overflow (``> bounds[-1]``).  Boundaries are fixed at
-    construction so ``observe`` never allocates a bucket.  A t-digest
-    rides along so :meth:`quantile` is percentile-exact (within the
-    scale-function bound) rather than bucket-edge-exact; the digest is
-    serialisable and mergeable, so per-core histograms can combine into
-    one server-wide quantile view.
+    The t-digest is the only per-observation store — ``observe`` keeps
+    no bucket counters, so the hot path is two adds and a buffer
+    append regardless of how many bucket edges the snapshot shows.
+    ``bounds`` only shape the *view*: :attr:`counts` is derived on
+    demand by binning the digest's centroids (a centroid of weight w
+    at mean m contributes w to the bucket holding m), which preserves
+    ``sum(counts) == count`` exactly while individual buckets are
+    approximate within the digest's clustering — the same trade
+    :meth:`quantile` already makes.  The digest is serialisable and
+    mergeable, so per-core histograms can combine into one server-wide
+    quantile view.
     """
 
-    __slots__ = ("name", "bounds", "counts", "total", "count", "min", "max",
-                 "digest")
+    __slots__ = ("name", "bounds", "total", "count", "min", "max", "digest")
 
     def __init__(self, name, bounds=DEFAULT_TIME_BUCKETS_NS,
                  compression=DEFAULT_COMPRESSION):
@@ -123,7 +136,6 @@ class Histogram:
             raise ValueError(f"histogram {name}: bounds must strictly increase")
         self.name = name
         self.bounds = bounds
-        self.counts = [0] * (len(bounds) + 1)
         self.total = 0.0
         self.count = 0
         self.min = None
@@ -131,9 +143,6 @@ class Histogram:
         self.digest = TDigest(compression=compression)
 
     def observe(self, value):
-        # bisect_left keeps the "le" contract: value == bound lands in
-        # that bound's bucket, matching the snapshot's inclusive labels.
-        self.counts[bisect_left(self.bounds, value)] += 1
         self.total += value
         self.count += 1
         if self.min is None or value < self.min:
@@ -141,6 +150,22 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
         self.digest.add(value)
+
+    @property
+    def counts(self):
+        """Bucket counts derived from the digest's centroids.
+
+        ``counts[i]`` approximates observations ``<= bounds[i]``
+        (``bisect_left`` keeps the inclusive-``le`` contract for
+        unmerged samples); the final entry is the overflow.  Exact
+        while every sample is its own centroid (small n), approximate
+        within centroid clustering after compaction; the total is
+        always exact.
+        """
+        counts = [0] * (len(self.bounds) + 1)
+        for mean, weight in self.digest.centroids():
+            counts[bisect_left(self.bounds, mean)] += int(round(weight))
+        return counts
 
     @property
     def mean(self):
@@ -179,7 +204,6 @@ class Histogram:
         return self.max
 
     def reset(self):
-        self.counts = [0] * (len(self.bounds) + 1)
         self.total = 0.0
         self.count = 0
         self.min = None
@@ -187,6 +211,7 @@ class Histogram:
         self.digest.reset()
 
     def describe(self):
+        counts = self.counts
         return {
             "type": "histogram",
             "count": self.count,
@@ -194,10 +219,15 @@ class Histogram:
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            # Sparse: zero-count buckets are elided; the terminal
+            # overflow entry ({"le": null}) is always present, so
+            # buckets[-1]["le"] is None and sum(counts) == count hold
+            # for every consumer.
             "buckets": [
                 {"le": bound, "count": count}
-                for bound, count in zip(self.bounds, self.counts)
-            ] + [{"le": None, "count": self.counts[-1]}],
+                for bound, count in zip(self.bounds, counts)
+                if count
+            ] + [{"le": None, "count": counts[-1]}],
             "quantiles": {
                 f"p{q * 100:g}": self.digest.quantile(q)
                 for q in SNAPSHOT_QUANTILES
@@ -288,6 +318,7 @@ class MetricsRegistry:
     def snapshot(self):
         """JSON-ready dict of every metric plus clock bookkeeping."""
         return {
+            "schema": SNAPSHOT_SCHEMA,
             "sim_now_ns": self.now,
             "window_ns": self.window_ns,
             "metrics": {

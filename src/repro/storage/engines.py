@@ -267,3 +267,61 @@ class NoveLSMEngine:
             return 0
         self.store.rotate(self._effective_ctx(ctx))
         return 1
+
+
+class _DirectMessage:
+    """Message shim for direct (non-network) engine inserts."""
+
+    __slots__ = ("_value",)
+
+    body_slices = ()
+    hw_tstamp = None
+    wire_csum = None
+
+    def __init__(self, value):
+        self._value = value
+
+    @property
+    def body(self):
+        return self._value
+
+    @property
+    def content_length(self):
+        return len(self._value)
+
+    def release(self):
+        pass
+
+
+def direct_put(engine, key, value, ctx=NULL_CONTEXT):
+    """Insert raw bytes straight into an engine, bypassing the network.
+
+    Copy-based engines read ``message.body``, so a bodiless shim
+    suffices.  Packet-native engines store *references into the packet
+    pool* — a shim with no body slices would adopt zero fragments and
+    record an empty value — so for those the bytes are written into
+    freshly allocated pool slots (a synthetic packet carrying exactly
+    the payload) and adopted by the store, same as the rx path.
+    """
+    key = bytes(key)
+    value = bytes(value)
+    store = getattr(engine, "store", None)
+    pool = getattr(store, "pool", None)
+    if pool is not None and hasattr(pool, "alloc") \
+            and hasattr(pool, "slot_size"):
+        frag_refs = []
+        try:
+            for off in range(0, len(value), pool.slot_size):
+                chunk = value[off:off + pool.slot_size]
+                buf = pool.alloc()
+                buf.write(0, chunk)
+                frag_refs.append((buf, 0, len(chunk)))
+        except Exception:
+            for buf, _offset, _length in frag_refs:
+                buf.put()
+            raise
+        store.put(key, frag_refs, len(value), None, None, ctx)
+        if hasattr(engine, "puts"):
+            engine.puts += 1
+        return
+    engine.put(key, _DirectMessage(value), ctx)

@@ -90,6 +90,33 @@ class ServerConfig:
     memtable_arena: int = 48 << 20
     engine_kwargs: dict = field(default_factory=dict)
     ack_policy: str = None
+    #: Record this server's delivered frame stream (repro.capture): a
+    #: ring-buffered tap on the fabric focused on the server's address.
+    #: The resulting capture replays as a workload or rebuilds a
+    #: standby (docs/CAPTURE.md).
+    capture: bool = False
+    #: Ring bounds when capture is on (None = unbounded).
+    capture_max_frames: int = None
+    capture_max_bytes: int = None
+
+    def capture_meta(self):
+        """The JSON-able provenance a capture needs to rebuild this
+        server from the file alone (engine, transport, sizing)."""
+        return {
+            "server_config": {
+                "transport": self.transport,
+                "engine": self.engine,
+                "port": self.port,
+                "cores": self.cores,
+                "zero_copy_get": self.zero_copy_get,
+                "contain_errors": self.contain_errors,
+                "overload": self.overload is not None,
+                "reaper_idle_ns": self.reaper_idle_ns,
+                "memtable_arena": self.memtable_arena,
+                "engine_kwargs": dict(self.engine_kwargs),
+                "ack_policy": self.ack_policy,
+            },
+        }
 
     def validate(self):
         if self.transport not in TRANSPORTS:
@@ -107,6 +134,15 @@ class ServerConfig:
             )
         if self.reaper_idle_ns is not None and self.reaper_idle_ns <= 0:
             raise ValueError("reaper_idle_ns must be positive (or None)")
+        for bound in ("capture_max_frames", "capture_max_bytes"):
+            value = getattr(self, bound)
+            if value is not None and value <= 0:
+                raise ValueError(f"{bound} must be positive (or None)")
+        if (self.capture_max_frames is not None or
+                self.capture_max_bytes is not None) and not self.capture:
+            raise ValueError(
+                "capture_max_frames/capture_max_bytes need capture=True"
+            )
         if self.ack_policy is not None:
             if self.ack_policy not in ("sync", "primary-only"):
                 raise ValueError(
@@ -128,15 +164,20 @@ class ServerConfig:
 class Server:
     """What :func:`serve` returns: the front-end plus its wiring."""
 
-    __slots__ = ("config", "host", "engine", "kv", "overload", "recorder")
+    __slots__ = ("config", "host", "engine", "kv", "overload", "recorder",
+                 "capture")
 
-    def __init__(self, config, host, engine, kv, overload, recorder):
+    def __init__(self, config, host, engine, kv, overload, recorder,
+                 capture=None):
         self.config = config
         self.host = host
         self.engine = engine
         self.kv = kv
         self.overload = overload
         self.recorder = recorder
+        #: CaptureTap recording this server's frame stream (None unless
+        #: config.capture).
+        self.capture = capture
 
     @property
     def metrics(self):
@@ -264,4 +305,26 @@ def serve(host, config=None, pm_ns=None, engine=None, recorder=None,
         if overload is not None:
             recorder.attach_overload(overload)
 
-    return Server(config, host, engine, kv, overload, recorder)
+    capture = None
+    if config.capture:
+        from repro.capture.tap import CaptureTap
+
+        meta = config.capture_meta()
+        meta["server_ip"] = host.ip
+        meta["server_name"] = host.name
+        capture = CaptureTap(
+            host.nic.fabric, focus_ip=host.ip,
+            max_frames=config.capture_max_frames,
+            max_bytes=config.capture_max_bytes, meta=meta,
+        )
+        if recorder is not None:
+            registry = recorder.registry
+            registry.gauge("server.capture.buffered",
+                           fn=lambda t=capture: float(len(t)))
+            registry.gauge("server.capture.seen",
+                           fn=lambda t=capture: float(t.seen_frames))
+            registry.gauge("server.capture.evicted",
+                           fn=lambda t=capture: float(t.dropped_frames))
+
+    return Server(config, host, engine, kv, overload, recorder,
+                  capture=capture)

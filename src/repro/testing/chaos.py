@@ -27,6 +27,7 @@ detector detects.
 import random
 
 from repro.bench.testbed import SERVER_IP, make_testbed
+from repro.bench.workloads import StormBurstSource
 from repro.net.fabric import LinkFaults
 from repro.net.http import HttpParser, build_request
 from repro.sim.units import MILLIS
@@ -105,12 +106,13 @@ class _BurstConn:
     oracle accepts any of those (an unacked write may legally persist).
     """
 
-    def __init__(self, world, conn_id, keys, puts, value_size):
+    def __init__(self, world, conn_id, source):
         self.world = world
         self.conn_id = conn_id
-        self.keys = keys
-        self.puts = puts
-        self.value_size = value_size
+        self.source = source
+        keys_for = getattr(source, "keys_for", None)
+        self.keys = [key.encode() for key in keys_for(conn_id)] \
+            if keys_for is not None else []
         self.sent = 0
         self.parser = HttpParser(is_response=True)
         self.sock = None
@@ -118,12 +120,6 @@ class _BurstConn:
         self.last_acked = {}    # key -> value of newest acked put
         self.in_flight = None   # (key, value) awaiting its response
         self.issued_after_ack = {}  # key -> [values issued after last ack]
-
-    def _value(self, key, index):
-        stamp = f"c{self.conn_id}:{key.decode()}:{index}:".encode()
-        filler = bytes((self.conn_id * 31 + index * 7 + i) % 256
-                       for i in range(max(0, self.value_size - len(stamp))))
-        return stamp + filler
 
     def start(self, ctx):
         self.sock = self.world.client.stack.connect(SERVER_IP, PORT, ctx)
@@ -137,17 +133,18 @@ class _BurstConn:
         self.parser.reset()
 
     def _next(self, ctx):
-        if self.sent >= self.puts:
+        op = self.source.next_op(self.conn_id)
+        if op is None:
             self.done = True
             self.sock.close(ctx)
             return
-        key = self.keys[self.sent % len(self.keys)]
-        value = self._value(key, self.sent)
+        method, key_str, value = op
+        key = key_str.encode()
         self.in_flight = (key, value)
         self.issued_after_ack.setdefault(key, []).append(value)
         self.sent += 1
         self.world.report.attempted_puts += 1
-        self.sock.send(build_request("PUT", "/" + key.decode(), value), ctx)
+        self.sock.send(build_request(method, "/" + key_str, value), ctx)
 
     def _on_data(self, _sock, segment, ctx):
         for message in self.parser.feed(segment):
@@ -214,12 +211,15 @@ class _HomaBurstLoop:
 
     WATCHDOG_NS = 80 * MILLIS
 
-    def __init__(self, world, conn_id, keys, puts, value_size):
+    def __init__(self, world, conn_id, source):
         self.world = world
         self.conn_id = conn_id
-        self.keys = keys
-        self.puts = puts
-        self.value_size = value_size
+        # The same TrafficSource as the TCP burst, so the durability
+        # oracle's bookkeeping is transport-independent.
+        self.source = source
+        keys_for = getattr(source, "keys_for", None)
+        self.keys = [key.encode() for key in keys_for(conn_id)] \
+            if keys_for is not None else []
         self.sent = 0
         self.done = False
         self.last_acked = {}        # key -> value of newest acked put
@@ -228,21 +228,18 @@ class _HomaBurstLoop:
         self.awaiting = None        # seq of the outstanding RPC
         self.core = None
 
-    # The same deterministic payload pattern as the TCP burst, so the
-    # durability oracle's bookkeeping is transport-independent.
-    _value = _BurstConn._value
-
     def start(self, ctx):
         cpus = self.world.client.cpus
         self.core = cpus[self.conn_id % len(cpus)]
         self._next(ctx)
 
     def _next(self, ctx):
-        if self.sent >= self.puts:
+        op = self.source.next_op(self.conn_id)
+        if op is None:
             self.done = True
             return
-        key = self.keys[self.sent % len(self.keys)]
-        value = self._value(key, self.sent)
+        method, key_str, value = op
+        key = key_str.encode()
         self.in_flight = (key, value)
         self.issued_after_ack.setdefault(key, []).append(value)
         seq = self.sent
@@ -250,7 +247,7 @@ class _HomaBurstLoop:
         self.world.report.attempted_puts += 1
         self.awaiting = seq
         self.world.client.homa.send_request(
-            SERVER_IP, PORT, build_request("PUT", "/" + key.decode(), value),
+            SERVER_IP, PORT, build_request(method, "/" + key_str, value),
             ctx,
             on_reply=lambda segments, c, s=seq: self._on_reply(s, segments, c),
         )
@@ -296,11 +293,18 @@ class OverloadStorm:
                  value_size=1400, pool_slots=256, slab_slots=None,
                  contain=True, zero_copy=False, stalls=4,
                  storm_faults=True, seed=1, max_events=20_000_000,
-                 reaper_idle_ns=None, transport="tcp", cores=1, config=None):
+                 reaper_idle_ns=None, transport="tcp", cores=1, config=None,
+                 source=None):
         self.connections = connections
         self.puts_per_conn = puts_per_conn
         self.keys_per_conn = keys_per_conn
         self.value_size = value_size
+        # The storm's burst phase is a TrafficSource like any other
+        # generator; passing one in substitutes the traffic (e.g. a
+        # captured stream) while the oracles stay unchanged.
+        self.source = source if source is not None else StormBurstSource(
+            connections, puts_per_conn, keys_per_conn, value_size,
+        )
         self.pool_slots = pool_slots
         # Default slab sizing: enough for steady state (live keys) but
         # well short of the versions the burst creates, so the slab —
@@ -539,14 +543,9 @@ class OverloadStorm:
 
     def _launch(self):
         self._conns = []
-        key_counter = 0
         loop_class = _HomaBurstLoop if self.transport == "homa" else _BurstConn
         for conn_id in range(self.connections):
-            keys = [f"k{key_counter + i}".encode()
-                    for i in range(self.keys_per_conn)]
-            key_counter += self.keys_per_conn
-            conn = loop_class(self, conn_id, keys, self.puts_per_conn,
-                              self.value_size)
+            conn = loop_class(self, conn_id, self.source)
             self._conns.append(conn)
             core = self.client.cpus[conn_id % len(self.client.cpus)]
             # Stagger connection setup so the SYN flood itself doesn't
@@ -596,7 +595,9 @@ class OverloadStorm:
 
     def _probe(self):
         """Post-storm liveness: a fresh request must get an answer."""
-        probe_key = self._conns[0].keys[0] if self._conns else b"probe"
+        probe_key = next(
+            (conn.keys[0] for conn in self._conns if conn.keys), b"probe"
+        )
         result = {"status": None}
         parser = HttpParser(is_response=True)
         request = build_request("GET", "/" + probe_key.decode())

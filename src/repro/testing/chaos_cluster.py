@@ -28,6 +28,7 @@ case the squall of traffic misses the corpse.  Then the oracles:
   a shard the victim owned has tested nothing, and fails loudly.
 """
 
+from repro.bench.workloads import StormBurstSource
 from repro.cluster.topology import ClusterConfig, build_cluster
 from repro.net.http import HttpParser, build_request
 from repro.sim.units import MILLIS
@@ -116,12 +117,11 @@ class _ShardLoop:
     value or any value issued after it.
     """
 
-    def __init__(self, world, loop_id, keys, puts, value_size):
+    def __init__(self, world, loop_id, source):
         self.world = world
         self.loop_id = loop_id
-        self.keys = keys
-        self.puts = puts
-        self.value_size = value_size
+        self.source = source
+        self.keys = [key.encode() for key in source.keys_for(loop_id)]
         self.sent = 0
         self.done = False
         self.core = None
@@ -134,12 +134,6 @@ class _ShardLoop:
         self.issued_after_ack = {}    # key -> [values issued after last ack]
         self.target = None            # node name of the current attempt
 
-    def _value(self, key, index):
-        stamp = f"l{self.loop_id}:{key.decode()}:{index}:".encode()
-        filler = bytes((self.loop_id * 31 + index * 7 + i) % 256
-                       for i in range(max(0, self.value_size - len(stamp))))
-        return stamp + filler
-
     def start(self, ctx):
         cpus = self.world.client.cpus
         self.core = cpus[self.loop_id % len(cpus)]
@@ -147,17 +141,18 @@ class _ShardLoop:
 
     def resume(self, extra_puts, ctx):
         """Second burst: the same loop issues ``extra_puts`` more."""
-        self.puts += extra_puts
+        self.source.extend(self.loop_id, extra_puts)
         if self.done:
             self.done = False
             self._next(ctx)
 
     def _next(self, ctx):
-        if self.sent >= self.puts:
+        op = self.source.next_op(self.loop_id)
+        if op is None:
             self.done = True
             return
-        key = self.keys[self.sent % len(self.keys)]
-        value = self._value(key, self.sent)
+        _method, key_str, value = op
+        key = key_str.encode()
         self.in_flight = (key, value)
         self.issued_after_ack.setdefault(key, []).append(value)
         self.sent += 1
@@ -264,6 +259,14 @@ class HostKillStorm:
         self.failsafe_ns = failsafe_ns
         self.max_events = max_events
 
+        # The kill storm's bursts are the same TrafficSource protocol
+        # as every other generator, with cluster-specific key/stamp
+        # prefixes so values attribute to the loop that wrote them.
+        self.source = StormBurstSource(
+            loops, puts_per_loop, keys_per_loop, value_size,
+            key_prefix="ck", stamp_prefix="l",
+        )
+
         self.cluster = build_cluster(config)
         self.sim = self.cluster.sim
         self.client = self.cluster.client
@@ -303,13 +306,8 @@ class HostKillStorm:
     # -- phases ---------------------------------------------------------------
 
     def _launch(self):
-        key_counter = 0
         for loop_id in range(self.loops):
-            keys = [f"ck{key_counter + i}".encode()
-                    for i in range(self.keys_per_loop)]
-            key_counter += self.keys_per_loop
-            loop = _ShardLoop(self, loop_id, keys, self.puts_per_loop,
-                              self.value_size)
+            loop = _ShardLoop(self, loop_id, self.source)
             self._conns.append(loop)
             core = self.client.cpus[loop_id % len(self.client.cpus)]
             self.sim.schedule(

@@ -13,6 +13,7 @@ from repro.bench.figure2 import measure_point
 from repro.bench.table1 import PAPER, run_table1
 from repro.bench.testbed import make_testbed
 from repro.bench.wrk import WrkClient
+from repro.storage.server import ServerConfig
 
 
 @pytest.fixture(scope="module")
@@ -89,7 +90,7 @@ class TestProposalProjection:
     def rtts(self):
         out = {}
         for engine in ("novelsm", "pktstore"):
-            testbed = make_testbed(engine=engine)
+            testbed = make_testbed(ServerConfig(engine=engine))
             wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
                             duration_ns=2_000_000, warmup_ns=400_000)
             stats = wrk.run()

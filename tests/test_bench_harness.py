@@ -8,6 +8,7 @@ from repro.bench.wrk import WrkClient, WrkStats
 from repro.sim import ExecutionContext
 from repro.sim.context import FilterContext
 from repro.sim.units import MICROS, MILLIS, SECONDS, ns_to_us, us as us_units
+from repro.storage.server import ServerConfig
 
 
 class TestUnits:
@@ -88,30 +89,30 @@ class TestReport:
 class TestTestbed:
     def test_engines_constructible(self):
         for engine in ("null", "rawpm", "novelsm", "novelsm-nopersist", "pktstore"):
-            testbed = make_testbed(engine=engine)
+            testbed = make_testbed(ServerConfig(engine=engine))
             assert testbed.kv.engine is testbed.engine
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError):
-            make_testbed(engine="mongodb")
+            make_testbed(ServerConfig(engine="mongodb"))
 
     def test_server_is_paste_single_core(self):
-        testbed = make_testbed(engine="null")
+        testbed = make_testbed(ServerConfig(engine="null"))
         assert testbed.server.paste_mode
         assert len(testbed.server.cpus) == 1
         assert not testbed.client.paste_mode
         assert len(testbed.client.cpus) == 12
 
     def test_non_paste_testbed(self):
-        testbed = make_testbed(engine="null", paste=False)
+        testbed = make_testbed(ServerConfig(engine="null"), paste=False)
         assert not testbed.server.paste_mode
 
     def test_pktstore_requires_paste(self):
         with pytest.raises(ValueError):
-            make_testbed(engine="pktstore", paste=False)
+            make_testbed(ServerConfig(engine="pktstore"), paste=False)
 
     def test_preload_steady_state(self):
-        testbed = make_testbed(engine="novelsm")
+        testbed = make_testbed(ServerConfig(engine="novelsm"))
         count = preload(testbed, entries=20, value_size=64)
         assert count == 20
         assert testbed.engine.get(b"warm-19") == bytes(64)
@@ -119,14 +120,14 @@ class TestTestbed:
 
 class TestWrkClient:
     def test_zero_duration_completes_nothing(self):
-        testbed = make_testbed(engine="null")
+        testbed = make_testbed(ServerConfig(engine="null"))
         wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
                         duration_ns=0.0, warmup_ns=0.0)
         stats = wrk.run()
         assert stats.completed == 0
 
     def test_get_workload(self):
-        testbed = make_testbed(engine="novelsm")
+        testbed = make_testbed(ServerConfig(engine="novelsm"))
         preload(testbed, entries=10, value_size=128, key_prefix="key-0")
         wrk = WrkClient(testbed.client, "10.0.0.1", connections=1,
                         method="GET", key_space=5, key_prefix="key",
@@ -136,7 +137,7 @@ class TestWrkClient:
         assert testbed.kv.stats["gets"] == stats.completed
 
     def test_multiple_connections_complete_independently(self):
-        testbed = make_testbed(engine="null")
+        testbed = make_testbed(ServerConfig(engine="null"))
         wrk = WrkClient(testbed.client, "10.0.0.1", connections=8,
                         duration_ns=400_000, warmup_ns=100_000)
         stats = wrk.run()

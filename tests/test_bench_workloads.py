@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.bench.testbed import make_testbed, preload
 from repro.bench.workloads import YcsbWorkload, ZipfianGenerator
 from repro.bench.wrk import WrkClient
+from repro.storage.server import ServerConfig
 
 
 class TestZipfian:
@@ -80,7 +81,7 @@ class TestYcsbWorkload:
 class TestEndToEnd:
     @pytest.mark.parametrize("mix", ["A", "B"])
     def test_mixed_workload_over_the_network(self, mix):
-        testbed = make_testbed(engine="novelsm")
+        testbed = make_testbed(ServerConfig(engine="novelsm"))
         preload(testbed, entries=200, value_size=256)
         workload = YcsbWorkload(mix, key_space=200, value_size=256, seed=13)
         wrk = WrkClient(testbed.client, "10.0.0.1", connections=4,
@@ -95,7 +96,7 @@ class TestEndToEnd:
         assert testbed.kv.stats["puts"] == workload.issued_writes
 
     def test_mixed_workload_on_pktstore(self):
-        testbed = make_testbed(engine="pktstore")
+        testbed = make_testbed(ServerConfig(engine="pktstore"))
         # Preload through the pool so values live in packet buffers.
         for i in range(100):
             buf = testbed.server.rx_pool.alloc()

@@ -10,6 +10,7 @@ from repro.net.pool import BufferPool
 from repro.pm.device import PMDevice
 from repro.pm.namespace import PMNamespace
 from repro.sim import ExecutionContext
+from repro.storage.server import ServerConfig
 
 
 def make_store(pool_slots=256, meta_bytes=1 << 20):
@@ -200,7 +201,7 @@ class TestIntegrity:
         from repro.bench.testbed import make_testbed
         from repro.bench.wrk import WrkClient
 
-        tb = make_testbed(engine="pktstore")
+        tb = make_testbed(ServerConfig(engine="pktstore"))
         wrk = WrkClient(tb.client, "10.0.0.1", connections=1,
                         duration_ns=500_000, warmup_ns=100_000)
         wrk.run()
@@ -218,7 +219,7 @@ class TestIntegrity:
         from repro.bench.testbed import make_testbed
         from repro.bench.wrk import WrkClient
 
-        tb = make_testbed(engine="pktstore")
+        tb = make_testbed(ServerConfig(engine="pktstore"))
         wrk = WrkClient(tb.client, "10.0.0.1", connections=1,
                         duration_ns=500_000, warmup_ns=100_000)
         wrk.run()

@@ -19,11 +19,12 @@ from repro.pm.namespace import PMNamespace
 from repro.testing import RecordingPMDevice, run_until_persistence_events
 
 from tests.test_integration_crash import TrackingClient
+from repro.storage.server import ServerConfig
 
 
 def build_recording_testbed():
     device = RecordingPMDevice(PM_BYTES, name="optane-rec")
-    testbed = make_testbed(engine="pktstore", pm_device=device)
+    testbed = make_testbed(ServerConfig(engine="pktstore"), pm_device=device)
     device._clock = lambda: testbed.sim.now
     return testbed, device
 

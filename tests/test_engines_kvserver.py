@@ -11,6 +11,7 @@ from repro.pm.namespace import PMNamespace
 from repro.sim import ExecutionContext
 from repro.storage.engines import NoveLSMEngine, NullEngine, RawPMEngine
 from repro.storage.lsm import novelsm_store
+from repro.storage.server import ServerConfig
 
 
 class FakeMessage:
@@ -103,7 +104,7 @@ class TestEngines:
 class TestKVServerIntegration:
     def run_requests(self, engine, requests):
         """Drive raw HTTP requests through the full simulated stack."""
-        tb = make_testbed(engine=engine)
+        tb = make_testbed(ServerConfig(engine=engine))
         responses = []
         parser = HttpParser(is_response=True)
         done = {"count": 0}
@@ -158,7 +159,7 @@ class TestKVServerIntegration:
         assert responses[0][0] == 404
 
     def test_multiple_connections_isolated_by_engine_sharing(self):
-        tb = make_testbed(engine="novelsm")
+        tb = make_testbed(ServerConfig(engine="novelsm"))
         wrk = WrkClient(tb.client, "10.0.0.1", connections=4,
                         duration_ns=500_000, warmup_ns=100_000)
         stats = wrk.run()
@@ -167,7 +168,7 @@ class TestKVServerIntegration:
         assert tb.kv.stats["puts"] == stats.completed
 
     def test_preload_populates_engine(self):
-        tb = make_testbed(engine="novelsm")
+        tb = make_testbed(ServerConfig(engine="novelsm"))
         preload(tb, entries=50, value_size=128)
         assert tb.engine.get(b"warm-0") == bytes(128)
         assert tb.engine.get(b"warm-49") == bytes(128)
@@ -177,7 +178,7 @@ class TestAccountingSeparation:
     """The Table 1 decomposition depends on clean category separation."""
 
     def test_null_run_has_no_storage_categories(self):
-        tb = make_testbed(engine="null")
+        tb = make_testbed(ServerConfig(engine="null"))
         wrk = WrkClient(tb.client, "10.0.0.1", connections=1,
                         duration_ns=500_000, warmup_ns=100_000)
         wrk.run()
@@ -188,7 +189,7 @@ class TestAccountingSeparation:
         assert acct.category("net.tcp") > 0
 
     def test_rawpm_run_has_persist_but_no_insert(self):
-        tb = make_testbed(engine="rawpm")
+        tb = make_testbed(ServerConfig(engine="rawpm"))
         wrk = WrkClient(tb.client, "10.0.0.1", connections=1,
                         duration_ns=500_000, warmup_ns=100_000)
         wrk.run()
@@ -198,7 +199,7 @@ class TestAccountingSeparation:
         assert acct.category("datamgmt.checksum") == 0
 
     def test_pktstore_run_has_no_checksum_or_copy(self):
-        tb = make_testbed(engine="pktstore")
+        tb = make_testbed(ServerConfig(engine="pktstore"))
         wrk = WrkClient(tb.client, "10.0.0.1", connections=1,
                         duration_ns=500_000, warmup_ns=100_000)
         wrk.run()

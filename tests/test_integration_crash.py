@@ -17,6 +17,7 @@ from repro.core.pktstore import PacketStore
 from repro.net.http import HttpParser, build_request
 from repro.net.pool import BufferPool
 from repro.pm.namespace import PMNamespace
+from repro.storage.server import ServerConfig
 
 
 class TrackingClient:
@@ -68,7 +69,7 @@ def crash_and_recover(testbed, rng=None):
 
 @pytest.mark.parametrize("crash_at_us", [40, 137, 333, 1001, 2718])
 def test_acked_writes_survive_arbitrary_crash_points(crash_at_us):
-    testbed = make_testbed(engine="pktstore")
+    testbed = make_testbed(ServerConfig(engine="pktstore"))
     client = TrackingClient(testbed, total=200)
     client.start()
     testbed.sim.run(until=crash_at_us * 1000.0)
@@ -89,7 +90,7 @@ def test_acked_writes_survive_with_random_pending_line_drain():
     """Same contract when unfenced write-backs drain nondeterministically."""
     for seed in range(5):
         rng = random.Random(seed)
-        testbed = make_testbed(engine="pktstore")
+        testbed = make_testbed(ServerConfig(engine="pktstore"))
         client = TrackingClient(testbed, total=100)
         client.start()
         testbed.sim.run(until=rng.uniform(50, 3000) * 1000.0)
@@ -103,7 +104,7 @@ def test_acked_writes_survive_with_random_pending_line_drain():
 
 def test_server_resumes_service_after_recovery():
     """Crash, recover, keep serving: old data readable, new writes land."""
-    testbed = make_testbed(engine="pktstore")
+    testbed = make_testbed(ServerConfig(engine="pktstore"))
     client = TrackingClient(testbed, total=50)
     client.start()
     testbed.sim.run(until=3_000_000)
@@ -122,7 +123,7 @@ def test_server_resumes_service_after_recovery():
 
 def test_double_crash_recovery_is_stable():
     """Recover, crash again immediately, recover again: same contents."""
-    testbed = make_testbed(engine="pktstore")
+    testbed = make_testbed(ServerConfig(engine="pktstore"))
     client = TrackingClient(testbed, total=60)
     client.start()
     testbed.sim.run(until=2_000_000)

@@ -11,6 +11,7 @@ from repro.net.fabric import Fabric, LinkFaults
 from repro.net.homa import GRANT_WINDOW, RTT_BYTES
 from repro.net.stack import Host
 from repro.sim.engine import Simulator
+from repro.storage.server import ServerConfig
 
 
 def make_pair(faults=None):
@@ -134,7 +135,7 @@ class TestFaultRecovery:
 class TestHomaKV:
     @pytest.mark.parametrize("engine", ["novelsm", "pktstore"])
     def test_kv_workload_over_homa(self, engine):
-        testbed = make_testbed(engine=engine, transport="homa")
+        testbed = make_testbed(ServerConfig(engine=engine, transport="homa"))
         wrk = HomaWrkClient(testbed.client, "10.0.0.1", connections=2,
                             duration_ns=800_000, warmup_ns=200_000)
         stats = wrk.run()
@@ -144,19 +145,19 @@ class TestHomaKV:
 
     def test_homa_networking_faster_than_tcp(self):
         """§5.2's premise: the new transport shrinks networking RTT."""
-        tcp = make_testbed(engine="null")
+        tcp = make_testbed(ServerConfig(engine="null"))
         from repro.bench.wrk import WrkClient
 
         tcp_rtt = WrkClient(tcp.client, "10.0.0.1", connections=1,
                             duration_ns=800_000, warmup_ns=200_000).run().avg_rtt_us
-        homa = make_testbed(engine="null", transport="homa")
+        homa = make_testbed(ServerConfig(engine="null", transport="homa"))
         homa_rtt = HomaWrkClient(homa.client, "10.0.0.1", connections=1,
                                  duration_ns=800_000, warmup_ns=200_000).run().avg_rtt_us
         assert homa_rtt < tcp_rtt
 
     def test_pktstore_over_homa_keeps_nic_metadata(self):
         """Zero-copy adoption works identically on Homa segments."""
-        testbed = make_testbed(engine="pktstore", transport="homa")
+        testbed = make_testbed(ServerConfig(engine="pktstore", transport="homa"))
         wrk = HomaWrkClient(testbed.client, "10.0.0.1", connections=1,
                             duration_ns=600_000, warmup_ns=100_000)
         wrk.run()
@@ -174,7 +175,7 @@ class TestHomaKV:
         from repro.net.pool import BufferPool
         from repro.pm.namespace import PMNamespace
 
-        testbed = make_testbed(engine="pktstore", transport="homa")
+        testbed = make_testbed(ServerConfig(engine="pktstore", transport="homa"))
         wrk = HomaWrkClient(testbed.client, "10.0.0.1", connections=1,
                             duration_ns=600_000, warmup_ns=100_000)
         wrk.run()

@@ -70,7 +70,9 @@ class TestGauge:
 
 class TestHistogram:
     def test_bucketing_boundaries_inclusive(self):
-        # Bucket i counts observations <= bounds[i].
+        # Bucket i counts observations <= bounds[i].  counts is a view
+        # derived from the digest; exact while every sample is its own
+        # centroid, as here.
         hist = Histogram("h", bounds=(10, 100, 1000))
         for value in (5, 10, 11, 100, 999, 1000, 1001):
             hist.observe(value)
@@ -130,7 +132,9 @@ class TestHistogram:
         assert DEFAULT_TIME_BUCKETS_NS[0] == 1_000.0
         assert DEFAULT_TIME_BUCKETS_NS[-1] == 16_384_000.0
 
-    def test_describe_lists_buckets_with_overflow(self):
+    def test_describe_lists_sparse_buckets_with_overflow(self):
+        # v2 snapshots elide zero-count buckets (the empty <=100 bucket
+        # here) but always keep the terminal overflow entry.
         hist = Histogram("h", bounds=(10, 100))
         hist.observe(5)
         hist.observe(500)
@@ -139,11 +143,25 @@ class TestHistogram:
         assert described["count"] == 2
         assert described["buckets"] == [
             {"le": 10.0, "count": 1},
-            {"le": 100.0, "count": 0},
             {"le": None, "count": 1},
         ]
         assert set(described["quantiles"]) == {"p50", "p90", "p99", "p99.9"}
         assert described["quantiles"]["p99.9"] == 500
+
+    def test_describe_bucket_counts_sum_to_count(self):
+        # The invariant CI's schema check relies on, across compaction:
+        # derived bucket weights always total the observation count.
+        hist = Histogram("h", bounds=(10, 100, 1000, 10000))
+        for i in range(5000):
+            hist.observe(float((i * 37) % 20000))
+        described = hist.describe()
+        assert sum(b["count"] for b in described["buckets"]) == 5000
+        assert described["buckets"][-1]["le"] is None
+        assert all(b["count"] for b in described["buckets"][:-1])
+
+    def test_empty_histogram_describes_lone_overflow(self):
+        described = Histogram("h", bounds=(10, 100)).describe()
+        assert described["buckets"] == [{"le": None, "count": 0}]
 
     def test_reset(self):
         hist = Histogram("h", bounds=(10,))
@@ -188,6 +206,7 @@ class TestMetricsRegistry:
         registry.counter("c").inc()
         sim.run(until=5_000.0)
         snap = registry.snapshot()
+        assert snap["schema"] == "repro-metrics/v2"
         assert snap["sim_now_ns"] == 5_000.0
         assert snap["window_ns"] == 5_000.0
         assert snap["metrics"]["c"] == {"type": "counter", "value": 1.0}

@@ -112,25 +112,37 @@ class TestServe:
         assert server.engine is prebuilt
 
 
-class TestLegacyShim:
-    def test_legacy_keywords_still_work(self):
-        testbed = make_testbed(engine="null", server_cores=2)
+class TestRetiredKwargs:
+    """The pre-config keywords are gone: the error must say which
+    ServerConfig field replaced each, so old call sites migrate from
+    the traceback alone."""
+
+    def test_config_positionally(self):
+        testbed = make_testbed(ServerConfig(engine="null", cores=2))
         assert testbed.config.engine == "null"
         assert testbed.config.cores == 2
         assert len(testbed.server.cpus) == 2
 
-    def test_legacy_kv_kwargs_fold_into_config(self):
-        testbed = make_testbed(engine="pktstore",
-                               kv_kwargs={"zero_copy_get": True})
-        assert testbed.config.zero_copy_get
+    def test_no_config_builds_default(self):
+        testbed = make_testbed()
+        assert testbed.config.engine == "novelsm"
+        assert testbed.config.cores == 1
 
-    def test_config_plus_legacy_conflict(self):
-        with pytest.raises(TypeError, match="not both"):
-            make_testbed(engine="null", config=ServerConfig())
+    def test_retired_engine_kwarg_names_replacement(self):
+        with pytest.raises(TypeError, match=r"ServerConfig\(engine=\.\.\.\)"):
+            make_testbed(engine="null")
 
-    def test_unknown_kv_kwargs_rejected(self):
-        with pytest.raises(TypeError, match="ServerConfig"):
-            make_testbed(kv_kwargs={"bogus_flag": 1})
+    def test_retired_server_cores_kwarg_names_replacement(self):
+        with pytest.raises(TypeError, match=r"ServerConfig\(cores=\.\.\.\)"):
+            make_testbed(server_cores=2)
+
+    def test_retired_kv_kwargs_names_replacement(self):
+        with pytest.raises(TypeError, match="zero_copy_get"):
+            make_testbed(kv_kwargs={"zero_copy_get": True})
+
+    def test_unknown_kwarg_still_plain_typeerror(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            make_testbed(bogus_flag=1)
 
 
 class TestTransportsServeRequests:

@@ -11,6 +11,7 @@ from repro.net.stack import Host
 from repro.net.http import HttpParser, build_request
 from repro.sim.engine import Simulator
 from repro.storage.kvserver import decode_scan_body, encode_scan_body
+from repro.storage.server import ServerConfig
 
 
 def make_pair(server_features=None, client_features=None):
@@ -133,7 +134,7 @@ class TestTSO:
 
 class TestRangeScan:
     def run_scan(self, engine, puts, query):
-        testbed = make_testbed(engine=engine)
+        testbed = make_testbed(ServerConfig(engine=engine))
         requests = [build_request("PUT", f"/{k}", v) for k, v in puts]
         requests.append(build_request("GET", query))
         responses = []

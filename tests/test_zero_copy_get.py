@@ -12,6 +12,7 @@ from repro.pm.device import PMDevice
 from repro.pm.namespace import PMNamespace
 from repro.sim.engine import Simulator
 from repro.storage.kvserver import KVServer
+from repro.storage.server import ServerConfig
 
 
 def make_zero_copy_world():
@@ -108,6 +109,6 @@ def test_buffers_stay_alive_through_retransmission_window():
 
 
 def test_testbed_flag_plumbs_through():
-    testbed = make_testbed(engine="pktstore")
+    testbed = make_testbed(ServerConfig(engine="pktstore"))
     # Default KVServer has the flag off.
     assert not testbed.kv.zero_copy_get
