@@ -1,4 +1,4 @@
-"""``wrk``-like closed-loop HTTP load generator.
+"""``wrk``-like closed-loop HTTP load generator, and its open-loop twin.
 
 The paper's client runs wrk over one or more persistent TCP
 connections; each connection issues the next request the moment the
@@ -9,7 +9,19 @@ its response (i.e. syscall-to-syscall, like wrk), with a warmup cut.
 
 Latency/throughput statistics follow the paper's reporting: average
 RTT over the measurement window and completed requests per second.
+
+:class:`OpenLoopWrkClient` is the coordinated-omission-honest
+counterpart (docs/WORKLOADS.md): arrivals come from an
+:class:`~repro.bench.openloop.OpenLoopSource` on a clock the server
+cannot slow down, are multiplexed over a **bounded socket pool** (the
+way 10⁵–10⁶ logical clients share an edge proxy's connections), and —
+the load-bearing difference — every request's RTT is measured from its
+*scheduled arrival* time, not from when a socket finally came free to
+send it.  A stalled server therefore shows up as a queueing wave in
+the recorded tail instead of silencing its own load generator.
 """
+
+from collections import deque
 
 from repro.bench.workloads import UniformSource
 from repro.net.http import HttpParser, build_request
@@ -349,3 +361,369 @@ class HomaWrkClient:
             self.start()
         self.host.sim.run(until=self.stop_at + 5_000_000.0)
         return self.stats
+
+
+class OpenLoopStats(WrkStats):
+    """Results of one open-loop run.
+
+    ``rtts_ns`` (and therefore :meth:`~WrkStats.percentile_us` /
+    :attr:`~WrkStats.avg_rtt_us`) hold **admitted** (status-200)
+    requests only, measured from *scheduled arrival* to completion —
+    the tail the soak oracles bound.  The same samples also feed a
+    mergeable t-digest so sweep reports carry digest-backed quantiles
+    cross-checked against the exact order statistics.  Shed (503) and
+    storage-full (507) answers are counted, not mixed into the tail:
+    past the knee they are the *correct* server behaviour.
+    """
+
+    def __init__(self):
+        super().__init__()
+        from repro.obs.tdigest import TDigest
+
+        self.digest = TDigest()
+        #: Arrivals whose scheduled time fell inside the measure window.
+        self.offered = 0
+        self.arrivals_total = 0
+        self.admitted = 0
+        self.shed = 0
+        self.storage_full = 0
+        self.resets = 0
+        self.abandoned = 0
+        self.churns = 0
+        self.handshakes = 0
+        self.backlog_peak = 0
+        self.backlog_at_stop = 0
+
+    @property
+    def offered_krps(self):
+        if self.measure_start is None or self.measure_end is None or \
+                self.measure_end <= self.measure_start:
+            return 0.0
+        window_s = (self.measure_end - self.measure_start) / 1e9
+        return self.offered / window_s / 1e3
+
+    @property
+    def goodput_krps(self):
+        """Admitted completions per second — inherited throughput."""
+        return self.throughput_krps
+
+    def digest_percentile_us(self, p):
+        """Digest-backed percentile (µs), mergeable across clients."""
+        if not len(self.digest):
+            return 0.0
+        return ns_to_us(self.digest.quantile(p / 100.0))
+
+    def __repr__(self):
+        return (
+            f"<OpenLoopStats offered={self.offered} admitted={self.admitted} "
+            f"shed={self.shed} p99={self.percentile_us(99):.1f}us>"
+        )
+
+
+class _OpenLoopConn:
+    """One pooled socket of the open-loop client.
+
+    Unlike the closed-loop :class:`_Connection`, it does not *generate*
+    anything: it carries whatever pending arrival the client hands it,
+    and reports back for more when the response lands.  ``closed``
+    connections must never send again — the churn invariant the
+    property tests pin (`use_after_close` stays zero).
+    """
+
+    __slots__ = ("client", "conn_id", "parser", "sock", "pending",
+                 "closed", "established")
+
+    def __init__(self, client, conn_id):
+        self.client = client
+        self.conn_id = conn_id
+        self.parser = HttpParser(is_response=True)
+        self.sock = None
+        self.pending = None       # (scheduled_ns, Arrival) in flight / queued
+        self.closed = False
+        self.established = False
+
+    def open(self):
+        host = self.client.host
+        core = host.cpus.assign()
+
+        def do_connect(ctx):
+            self.sock = host.stack.connect(
+                self.client.server_ip, self.client.port, ctx, core=core
+            )
+            self.sock.on_established = self._established
+            self.sock.on_reset = lambda s: self.client._conn_reset(self)
+
+        host.process_on_core(core, do_connect)
+
+    def _established(self, sock, ctx):
+        self.established = True
+        self.client.stats.handshakes += 1
+        sock.on_data = self._on_data
+        if self.pending is not None:
+            self.send_pending(ctx)
+        else:
+            self.client._conn_idle(self)
+
+    def send_pending(self, ctx):
+        """Issue the carried arrival inside the current slice."""
+        if self.closed:
+            # Never legal: a churned-away socket got work.  Count it
+            # (the invariant tests read this) and refuse loudly.
+            self.client.use_after_close += 1
+            raise RuntimeError(
+                f"open-loop conn {self.conn_id} used after close"
+            )
+        _scheduled, arrival = self.pending
+        self.client.costs.charge_http_build(ctx)
+        self.sock.send(_op_to_request(arrival.op()), ctx)
+
+    def retire(self, ctx=None):
+        """Close this socket for good (churn or end of run)."""
+        if self.closed:
+            return
+        self.closed = True
+        self.client._forget_conn(self)
+        sock = self.sock
+        if sock is None or sock.state.value == "CLOSED":
+            return
+        if ctx is not None:
+            sock.close(ctx)
+        else:
+            self.client.host.process_on_core(
+                sock.core, lambda c: sock.close(c)
+            )
+
+    def _on_data(self, sock, segment, ctx):
+        for message in self.parser.feed(segment, ctx, self.client.costs):
+            status = message.status
+            message.release()
+            pending, self.pending = self.pending, None
+            if pending is not None:
+                self.client.host.call_at_completion(
+                    lambda t_end, c, p=pending, s=status:
+                        self.client._record(p, t_end, s)
+                )
+            self.client._conn_ready(self, ctx)
+
+
+class OpenLoopWrkClient:
+    """Open-loop load over a bounded socket pool (docs/WORKLOADS.md).
+
+    ``source`` is an :class:`~repro.bench.openloop.OpenLoopSource`;
+    its arrival clock drives everything.  At each arrival the request
+    is stamped with its scheduled time, then:
+
+    - an idle pooled socket sends it immediately;
+    - if the arrival is marked ``new_connection`` (churn), one pooled
+      socket is retired and a **fresh connection** — three-way
+      handshake and all — carries the request;
+    - otherwise it queues in the client-side backlog until a socket
+      frees up.  Backlog wait is *included in the RTT*: that is the
+      coordinated-omission honesty this client exists for.
+
+    Arrivals stop at the end of the measurement window; whatever is
+    still queued then is counted (``backlog_at_stop``) and dropped,
+    in-flight requests drain, and every socket closes so leak oracles
+    can compare pools against store ownership.
+    """
+
+    def __init__(self, host, server_ip, source, port=80, sockets=32,
+                 duration_ns=20_000_000.0, warmup_ns=5_000_000.0,
+                 drain_grace_ns=10_000_000.0, max_backlog=None):
+        if sockets < 1:
+            raise ValueError("need at least one pooled socket")
+        self.host = host
+        self.costs = host.costs
+        self.server_ip = server_ip
+        self.port = port
+        self.sockets = sockets
+        self.source = source
+        self.duration_ns = duration_ns
+        self.warmup_ns = warmup_ns
+        self.drain_grace_ns = drain_grace_ns
+        self.max_backlog = max_backlog
+        self.stats = OpenLoopStats()
+        self.use_after_close = 0
+        self.inflight = 0
+        self._conns = []
+        self._idle = []
+        self._backlog = deque()
+        self._next_conn_id = 0
+        self.started_at = None
+        self.stop_at = None
+
+    # -- introspection (soak gauges read these) -------------------------------
+
+    @property
+    def backlog(self):
+        return len(self._backlog)
+
+    @property
+    def open_sockets(self):
+        return len(self._conns)
+
+    def current_rate_rps(self):
+        return self.source.rate_at(self.host.sim.now)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self):
+        sim = self.host.sim
+        self.started_at = sim.now
+        self.stop_at = sim.now + self.warmup_ns + self.duration_ns
+        self.stats.measure_start = sim.now + self.warmup_ns
+        self.stats.measure_end = self.stop_at
+        for _ in range(self.sockets):
+            self._spawn_conn()
+        self._schedule_next_arrival(sim.now)
+        return self
+
+    def run(self, max_events=50_000_000):
+        if self.started_at is None:
+            self.start()
+        sim = self.host.sim
+        sim.run(until=self.stop_at)
+        # Clients hang up at the end of the window: queued-but-unsent
+        # arrivals are recorded, not silently replayed after the test.
+        self.stats.backlog_at_stop = len(self._backlog)
+        self._backlog.clear()
+        sim.run(until=self.stop_at + self.drain_grace_ns,
+                max_events=max_events)
+        for conn in list(self._conns):
+            conn.retire()
+        # Settle FIN handshakes so pool gauges reach their resting state.
+        sim.run(until=sim.now + 5_000_000.0, max_events=max_events)
+        return self.stats
+
+    def _spawn_conn(self, pending=None):
+        conn = _OpenLoopConn(self, self._next_conn_id)
+        self._next_conn_id += 1
+        conn.pending = pending
+        self._conns.append(conn)
+        conn.open()
+        return conn
+
+    def _forget_conn(self, conn):
+        if conn in self._conns:
+            self._conns.remove(conn)
+        if conn in self._idle:
+            self._idle.remove(conn)
+
+    # -- arrival plumbing -----------------------------------------------------
+
+    def _schedule_next_arrival(self, now):
+        t, arrival = self.source.next_arrival(now)
+        if t >= self.stop_at:
+            return  # the offered-load window is over; stop generating
+        self.host.sim.at(t, self._arrival, t, arrival)
+
+    def _arrival(self, t, arrival):
+        # Chain first: the next arrival's time must never depend on how
+        # long this one takes to find a socket.
+        self._schedule_next_arrival(t)
+        stats = self.stats
+        stats.arrivals_total += 1
+        if stats.measure_start <= t <= stats.measure_end:
+            stats.offered += 1
+        pending = (t, arrival)
+        if self._idle:
+            self._dispatch(self._idle.pop(), pending)
+        elif self.max_backlog is not None and \
+                len(self._backlog) >= self.max_backlog:
+            stats.abandoned += 1
+        else:
+            self._backlog.append(pending)
+            if len(self._backlog) > stats.backlog_peak:
+                stats.backlog_peak = len(self._backlog)
+
+    def _dispatch(self, conn, pending):
+        """Put ``pending`` on the wire via ``conn`` (or a churned one).
+
+        Runs outside any processing slice (arrival events, deferred
+        churn) — sends get their own slice on the socket's core.
+        """
+        self.inflight += 1
+        arrival = pending[1]
+        if arrival.new_connection:
+            # Churn: this logical client has no warm connection.  A
+            # pooled socket is retired and a fresh one pays the real
+            # handshake before the request goes out — the arrival keeps
+            # its original timestamp, so connection-setup latency lands
+            # in the RTT like it does for a real first-time client.
+            self.stats.churns += 1
+            conn.retire()
+            self._spawn_conn(pending)
+            return
+        conn.pending = pending
+        self.host.process_on_core(conn.sock.core, conn.send_pending)
+
+    def _conn_idle(self, conn):
+        if not conn.closed and conn not in self._idle:
+            self._idle.append(conn)
+
+    def _conn_ready(self, conn, ctx):
+        """A response landed on ``conn`` inside the current slice."""
+        self.inflight -= 1
+        if conn.closed:
+            return
+        if not self._backlog:
+            self._conn_idle(conn)
+            return
+        pending = self._backlog.popleft()
+        if pending[1].new_connection:
+            # Churn retires sockets — never from inside this slice;
+            # re-dispatch as a fresh event.
+            self.host.sim.schedule(
+                0.0, lambda c=conn, p=pending: self._dispatch(c, p)
+            )
+            return
+        self.inflight += 1
+        conn.pending = pending
+        conn.send_pending(ctx)
+
+    def _conn_reset(self, conn):
+        self.stats.resets += 1
+        if conn.pending is not None:
+            conn.pending = None
+            self.inflight -= 1
+            self.stats.errors += 1
+        conn.closed = True
+        self._forget_conn(conn)
+        if self.host.sim.now < self.stop_at:
+            self._spawn_conn()  # keep the pool at size
+
+    # -- accounting -----------------------------------------------------------
+
+    def _record(self, pending, finished, status):
+        """Scheduled-arrival RTT attribution — the whole point.
+
+        ``rtt = completion - scheduled arrival``: time spent queued
+        behind a stall (client backlog, handshake, server queue) is in
+        the sample.  Only status-200 requests enter the latency tail;
+        shed/full answers are counted as what they are.
+        """
+        scheduled, _arrival = pending
+        stats = self.stats
+        stats.completed += 1
+        if not (stats.measure_start <= finished <= stats.measure_end):
+            return
+        if status == 200:
+            stats.admitted += 1
+            rtt_ns = finished - scheduled
+            stats.rtts_ns.append(rtt_ns)
+            stats.digest.add(rtt_ns)
+            recorder = self.host.recorder
+            if recorder is not None:
+                recorder.client_request("http", "ok", rtt_ns)
+        elif status == 503:
+            stats.shed += 1
+        elif status == 507:
+            stats.storage_full += 1
+        else:
+            stats.errors += 1
+
+    def __repr__(self):
+        return (
+            f"<OpenLoopWrkClient {self.source.rate_rps:.0f} rps over "
+            f"{self.sockets} sockets>"
+        )

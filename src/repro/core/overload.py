@@ -12,8 +12,9 @@ naive PM ports.
 This module is the control layer that keeps exhaustion survivable:
 
 - **Pressure sources** — anything with ``under_pressure`` +
-  ``add_pressure_listener`` (``BufferPool``, ``PMAllocator``, and the
-  :class:`SlabPressure` adapter for :class:`~repro.core.ppktbuf.PMetaSlab`)
+  ``add_pressure_listener`` (``BufferPool``, ``PMAllocator``, the
+  :class:`SlabPressure` adapter for :class:`~repro.core.ppktbuf.PMetaSlab`,
+  and :class:`QueuePressure` over a host's CPU run queues)
   registers with :meth:`OverloadController.watch`.
 - **Admission control** — :meth:`OverloadController.admit` sheds (or,
   optionally, defers) mutating requests while any source is pressured,
@@ -99,6 +100,61 @@ class SlabPressure:
             for listener in self._pressure_listeners:
                 listener(self, True)
         elif self.under_pressure and occ < self.low_watermark:
+            self.under_pressure = False
+            for listener in self._pressure_listeners:
+                listener(self, False)
+
+
+class QueuePressure:
+    """CPU-queue-delay pressure: the knee detector for open-loop load.
+
+    Memory watermarks never fire past the CPU saturation knee when the
+    in-flight request count is bounded (a socket pool of N can pin at
+    most N rx buffers) — yet that is exactly where an open-loop soak
+    lives: offered load above capacity makes core run queues grow
+    without bound while every pool stays comfortable.  This source
+    watches the *scheduling delay* of the least-loaded core (work
+    steals to the emptiest queue, so the minimum is what a new request
+    actually waits) and trips with hysteresis, giving the admission
+    path a signal that engages before the latency tail does.
+
+    Polled via :meth:`update` like :class:`SlabPressure` — the
+    controller calls it on every admission decision, so no timer is
+    needed and the signal is exactly as fresh as the decisions it
+    gates.
+    """
+
+    def __init__(self, host, high_ns=200_000.0, low_ns=50_000.0):
+        if not 0.0 < low_ns <= high_ns:
+            raise ValueError("need 0 < low_ns <= high_ns")
+        self.host = host
+        self.high_ns = high_ns
+        self.low_ns = low_ns
+        self.under_pressure = False
+        self.pressure_events = 0
+        self._pressure_listeners = []
+
+    @property
+    def queue_delay_ns(self):
+        """Scheduling delay a newly-arrived request would see now."""
+        now = self.host.sim.now
+        return min(core.queue_delay(now) for core in self.host.cpus.cores)
+
+    def add_pressure_listener(self, callback):
+        self._pressure_listeners.append(callback)
+        return callback
+
+    def remove_pressure_listener(self, callback):
+        self._pressure_listeners.remove(callback)
+
+    def update(self):
+        delay = self.queue_delay_ns
+        if not self.under_pressure and delay >= self.high_ns:
+            self.under_pressure = True
+            self.pressure_events += 1
+            for listener in self._pressure_listeners:
+                listener(self, True)
+        elif self.under_pressure and delay <= self.low_ns:
             self.under_pressure = False
             for listener in self._pressure_listeners:
                 listener(self, False)

@@ -65,8 +65,13 @@ def build_parser():
     workload.add_argument("--storm", action="store_true",
                           help="run the chaos overload storm instead of "
                                "the closed-loop workload")
+    workload.add_argument("--openloop", type=float, metavar="KRPS",
+                          default=None,
+                          help="drive open-loop offered load at KRPS "
+                               "instead of closed loops (TCP + pktstore; "
+                               "composes with --watch/--json)")
     workload.add_argument("--seed", type=int, default=1,
-                          help="storm seed (with --storm)")
+                          help="storm / open-loop seed")
 
     output = parser.add_argument_group("output")
     output.add_argument("--table1", action="store_true",
@@ -120,6 +125,71 @@ def _run_wrk(args):
         "method": args.method,
         "value_size": args.value_size,
         "completed": stats.completed,
+        "avg_rtt_us": stats.avg_rtt_us,
+        "p50_rtt_us": stats.percentile_us(50),
+        "p99_rtt_us": stats.percentile_us(99),
+        "throughput_krps": stats.throughput_krps,
+    }
+    return testbed.recorder, workload, watch
+
+
+def _run_openloop(args):
+    """Open-loop offered load with queue-pressure admission control.
+
+    The same wiring as one ``repro-bench-soak`` point, but a single
+    rate with the full live-registry reporting — ``--watch`` streams
+    the offered-side gauges (``openloop.*``) next to the admission
+    counters so the knee is visible as it happens.
+    """
+    from repro.bench.openloop import OpenLoopSource
+    from repro.bench.soak import SLOT, default_args
+    from repro.bench.testbed import SERVER_IP, make_testbed
+    from repro.bench.wrk import OpenLoopWrkClient
+    from repro.core.overload import OverloadController, QueuePressure
+    from repro.storage import ServerConfig
+
+    defaults = default_args()
+    controller = OverloadController()
+    config = ServerConfig(
+        engine="pktstore", transport="tcp", cores=args.cores,
+        overload=controller, metrics=True,
+        trace_capacity=max(1024, args.trace),
+    )
+    testbed = make_testbed(
+        config=config, paste_pool_bytes=defaults["pool_slots"] * SLOT,
+    )
+    controller.watch(QueuePressure(
+        testbed.server,
+        high_ns=defaults["pressure_high_us"] * 1_000.0,
+        low_ns=defaults["pressure_low_us"] * 1_000.0,
+    ))
+    source = OpenLoopSource(
+        args.openloop * 1e3, clients=defaults["clients"],
+        key_space=defaults["key_space"], value_size=args.value_size,
+        theta=defaults["theta"], churn=defaults["churn"], seed=args.seed,
+    )
+    wrk = OpenLoopWrkClient(
+        testbed.client, SERVER_IP, source,
+        duration_ns=args.duration_us * 1_000.0,
+        warmup_ns=args.warmup_us * 1_000.0,
+    )
+    testbed.recorder.attach_openloop(wrk)
+    if args.watch:
+        stats, watch = _watched_run(testbed, wrk, args.watch * 1_000.0)
+    else:
+        stats, watch = wrk.run(), []
+    workload = {
+        "mode": "openloop",
+        "engine": "pktstore",
+        "transport": "tcp",
+        "cores": args.cores,
+        "rate_krps": args.openloop,
+        "sockets": wrk.sockets,
+        "offered_krps": stats.offered_krps,
+        "goodput_krps": stats.goodput_krps,
+        "completed": stats.completed,
+        "admitted": stats.admitted,
+        "shed": stats.shed,
         "avg_rtt_us": stats.avg_rtt_us,
         "p50_rtt_us": stats.percentile_us(50),
         "p99_rtt_us": stats.percentile_us(99),
@@ -217,6 +287,15 @@ def render_summary(recorder, workload):
             f"avg {workload['avg_rtt_us']:.2f} µs, "
             f"p99 {workload['p99_rtt_us']:.2f} µs, "
             f"{workload['throughput_krps']:.1f} krps"
+        )
+    elif workload["mode"] == "openloop":
+        lines.append(
+            f"[stats] open loop {workload['offered_krps']:.1f} krps offered "
+            f"over {workload['sockets']} sockets: "
+            f"goodput {workload['goodput_krps']:.1f} krps, "
+            f"{workload['admitted']} admitted / {workload['shed']} shed, "
+            f"p99 {workload['p99_rtt_us']:.2f} µs "
+            f"(scheduled-arrival attribution)"
         )
     else:
         lines.append(
@@ -328,7 +407,17 @@ def main(argv=None):
         parser.error("--watch drives the wrk workload; drop --storm")
     if args.watch is not None and args.watch <= 0:
         parser.error("--watch interval must be positive")
-    recorder, workload, watch = (_run_storm if args.storm else _run_wrk)(args)
+    if args.openloop is not None:
+        if args.storm:
+            parser.error("--openloop and --storm are exclusive")
+        if args.openloop <= 0:
+            parser.error("--openloop rate must be positive")
+        runner = _run_openloop
+    elif args.storm:
+        runner = _run_storm
+    else:
+        runner = _run_wrk
+    recorder, workload, watch = runner(args)
 
     if args.json is not None:
         document = {

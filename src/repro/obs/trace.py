@@ -312,6 +312,38 @@ class Recorder:
         )
         return self
 
+    def attach_openloop(self, client, role="openloop"):
+        """Watch an open-loop load client: offered-load-side gauges.
+
+        The server-side metrics say how the system copes; these say
+        what it is being *asked* to cope with — instantaneous offered
+        rate, client-side backlog (requests that have arrived but found
+        no free pooled socket), in-flight count, and the churn /
+        handshake totals.  ``repro-stats --openloop --watch`` streams
+        them next to the admission counters so the knee is visible
+        live.
+        """
+        registry = self.registry
+        registry.gauge(f"{role}.rate_rps",
+                       fn=lambda c=client: c.current_rate_rps())
+        registry.gauge(f"{role}.backlog",
+                       fn=lambda c=client: float(c.backlog))
+        registry.gauge(f"{role}.inflight",
+                       fn=lambda c=client: float(c.inflight))
+        registry.gauge(f"{role}.sockets",
+                       fn=lambda c=client: float(c.open_sockets))
+        registry.gauge(f"{role}.arrivals",
+                       fn=lambda c=client: float(c.stats.arrivals_total))
+        registry.gauge(f"{role}.admitted",
+                       fn=lambda c=client: float(c.stats.admitted))
+        registry.gauge(f"{role}.shed",
+                       fn=lambda c=client: float(c.stats.shed))
+        registry.gauge(f"{role}.churns",
+                       fn=lambda c=client: float(c.stats.churns))
+        registry.gauge(f"{role}.handshakes",
+                       fn=lambda c=client: float(c.stats.handshakes))
+        return self
+
     def attach_transport(self, transport, role=None):
         """Watch a Homa transport: send attempts, retransmit span links.
 

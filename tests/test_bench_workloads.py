@@ -3,8 +3,10 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.bench.openloop import OpenLoopSource
 from repro.bench.testbed import make_testbed, preload
-from repro.bench.workloads import YcsbWorkload, ZipfianGenerator
+from repro.bench.workloads import (YcsbWorkload, ZipfianGenerator,
+                                   check_zipf_shape)
 from repro.bench.wrk import WrkClient
 from repro.storage.server import ServerConfig
 
@@ -49,6 +51,75 @@ class TestZipfian:
 def test_property_zipfian_always_in_range(nitems, theta, seed):
     gen = ZipfianGenerator(nitems, theta, seed)
     assert all(0 <= gen.next() < nitems for _ in range(200))
+
+
+class TestZetaCache:
+    def test_incremental_extension_matches_direct_sum(self):
+        theta = 0.77
+        ZipfianGenerator._ZETA_CACHE.pop(theta, None)
+        direct = sum(1.0 / i ** theta for i in range(1, 2001))
+        # Prime with a small n, then extend — the cached extension must
+        # agree with the from-scratch sum.
+        ZipfianGenerator._zeta(500, theta)
+        extended = ZipfianGenerator._zeta(2000, theta)
+        assert extended == pytest.approx(direct, rel=1e-12)
+        # Asking for a smaller prefix after caching a larger one.
+        smaller = ZipfianGenerator._zeta(500, theta)
+        assert smaller == pytest.approx(
+            sum(1.0 / i ** theta for i in range(1, 501)), rel=1e-12)
+
+    def test_cache_shared_across_generators(self):
+        theta = 0.63
+        ZipfianGenerator._ZETA_CACHE.pop(theta, None)
+        ZipfianGenerator(3000, theta, seed=1)
+        cached_n, _ = ZipfianGenerator._ZETA_CACHE[theta]
+        assert cached_n == 3000
+        # A second generator over the same space reuses the entry.
+        ZipfianGenerator(3000, theta, seed=2)
+        assert ZipfianGenerator._ZETA_CACHE[theta][0] == 3000
+
+
+class TestZipfShapeConformance:
+    """The one shape contract, checked at BOTH Zipf call sites.
+
+    ``check_zipf_shape`` compares observed top-k probability mass to
+    the analytic ζ(k, θ)/ζ(n, θ) — the YCSB mixes and the open-loop
+    arrival stream must both conform, because they share the single
+    :class:`ZipfianGenerator` implementation.
+    """
+
+    NITEMS, THETA, SAMPLES = 2_000, 0.99, 30_000
+
+    @staticmethod
+    def _rank(key):
+        return int(key.rsplit("-", 1)[1])
+
+    def test_generator_conforms(self):
+        gen = ZipfianGenerator(self.NITEMS, self.THETA, seed=21)
+        checked = check_zipf_shape(
+            gen.sample(self.SAMPLES), self.NITEMS, self.THETA)
+        assert set(checked) == {1, 10, 20, 200}
+
+    def test_ycsb_keys_conform(self):
+        workload = YcsbWorkload("W", key_space=self.NITEMS,
+                                theta=self.THETA, seed=23)
+        ranks = [self._rank(workload.next_op()[1])
+                 for _ in range(self.SAMPLES)]
+        check_zipf_shape(ranks, self.NITEMS, self.THETA)
+
+    def test_openloop_keys_conform(self):
+        source = OpenLoopSource(100_000.0, key_space=self.NITEMS,
+                                theta=self.THETA, seed=25)
+        ranks = [self._rank(source.next_arrival(0.0)[1].key)
+                 for _ in range(self.SAMPLES)]
+        check_zipf_shape(ranks, self.NITEMS, self.THETA)
+
+    def test_shape_check_rejects_uniform_samples(self):
+        uniform = [i % self.NITEMS for i in range(self.SAMPLES)]
+        with pytest.raises(AssertionError, match="top-1"):
+            check_zipf_shape(uniform, self.NITEMS, self.THETA)
+        with pytest.raises(AssertionError, match="no samples"):
+            check_zipf_shape([], self.NITEMS, self.THETA)
 
 
 class TestYcsbWorkload:

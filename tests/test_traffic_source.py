@@ -8,6 +8,7 @@ equal construction arguments yield byte-identical streams.
 
 import pytest
 
+from repro.bench.openloop import OpenLoopSource
 from repro.bench.testbed import make_testbed
 from repro.bench.workloads import (
     StormBurstSource,
@@ -54,6 +55,8 @@ SOURCES = {
     "YcsbWorkload": lambda: YcsbWorkload(
         mix="A", key_space=10, value_size=64, seed=7),
     "CaptureSource": lambda: CaptureSource(recorded_capture()),
+    "OpenLoopSource": lambda: OpenLoopSource(
+        10_000.0, key_space=10, value_size=64, read_fraction=0.5, seed=7),
 }
 
 
@@ -95,6 +98,12 @@ class TestDeterminism:
     def test_ycsb_streams_are_seeded(self):
         assert drain(YcsbWorkload(seed=3)) == drain(YcsbWorkload(seed=3))
         assert drain(YcsbWorkload(seed=3)) != drain(YcsbWorkload(seed=4))
+
+    def test_openloop_op_stream_is_seeded(self):
+        make = lambda s: OpenLoopSource(  # noqa: E731
+            10_000.0, key_space=10, read_fraction=0.5, seed=s)
+        assert drain(make(3)) == drain(make(3))
+        assert drain(make(3)) != drain(make(4))
 
     def test_storm_burst_values_attribute_their_writer(self):
         source = StormBurstSource(loops=2, puts_per_loop=4, keys_per_loop=2,
